@@ -1,0 +1,17 @@
+//! Criterion benchmark for the area model (the overhead sweep of Section 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wp_area::{case_study_overhead_sweep, relay_station_gates, CellLibrary};
+
+fn bench_area(c: &mut Criterion) {
+    let lib = CellLibrary::default();
+    c.bench_function("area/case_study_sweep", |b| {
+        b.iter(|| case_study_overhead_sweep(&lib))
+    });
+    c.bench_function("area/relay_station_64b", |b| {
+        b.iter(|| relay_station_gates(&lib, 64))
+    });
+}
+
+criterion_group!(benches, bench_area);
+criterion_main!(benches);

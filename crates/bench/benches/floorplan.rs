@@ -1,0 +1,44 @@
+//! Criterion benchmark for the methodology substrate: throughput-aware
+//! simulated-annealing placement of the five-block SoC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wp_bench::sort_workload;
+use wp_floorplan::{anneal, AnnealConfig, Block, Floorplan, WireModel};
+use wp_proc::{build_soc, Organization, RsConfig};
+
+fn bench_floorplan(c: &mut Criterion) {
+    let workload = sort_workload();
+    let net = build_soc(&workload, Organization::Pipelined, &RsConfig::ideal()).to_netlist();
+    let mut fp = Floorplan::new(12.0, 12.0);
+    for (name, w, h) in [
+        ("CU", 2.0, 2.0),
+        ("IC", 4.0, 4.0),
+        ("RF", 2.0, 3.0),
+        ("ALU", 3.0, 3.0),
+        ("DC", 4.0, 4.0),
+    ] {
+        fp.add_block(Block::new(name, w, h));
+    }
+    let model = WireModel::nm130(1.0);
+
+    let mut group = c.benchmark_group("floorplan");
+    group.sample_size(10);
+    group.bench_function("anneal_500_moves", |b| {
+        let config = AnnealConfig {
+            iterations: 500,
+            ..AnnealConfig::default()
+        };
+        b.iter(|| anneal(&fp, &net, &model, &config))
+    });
+    group.bench_function("budget_and_predict", |b| {
+        let placement = fp.initial_placement();
+        b.iter(|| {
+            let budget = fp.relay_station_budget(&net, &placement, &model);
+            (budget, fp.predicted_throughput(&net, &placement, &model))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_floorplan);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark for the loop-law validation (synthetic rings): tracks
+//! the cost of the latency-insensitive simulator on loops of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_bench::measure_ring_throughput;
+use wp_core::SyncPolicy;
+
+fn bench_loop_law(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loop_law");
+    group.sample_size(20);
+    for (m, n) in [(2usize, 1usize), (4, 2), (6, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("strict_ring", format!("m{m}_n{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                b.iter(|| measure_ring_throughput(m, n, None, SyncPolicy::Strict, 500))
+            },
+        );
+    }
+    group.bench_function("oracle_ring_m2_n1_k4", |b| {
+        b.iter(|| measure_ring_throughput(2, 1, Some(4), SyncPolicy::Oracle, 500))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loop_law);
+criterion_main!(benches);

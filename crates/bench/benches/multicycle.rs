@@ -1,0 +1,33 @@
+//! Criterion benchmark for the multicycle-organisation experiment (Section 3
+//! text): WP1 vs WP2 with relay stations on the CU-IC link.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wp_core::SyncPolicy;
+use wp_proc::{extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig};
+
+const MAX: u64 = 10_000_000;
+
+fn bench_multicycle(c: &mut Criterion) {
+    let workload = extraction_sort(8, 2005).expect("workload assembles");
+    let rs = RsConfig::single(Link::CuIc, 1);
+    let mut group = c.benchmark_group("multicycle");
+    group.sample_size(10);
+
+    group.bench_function("golden", |b| {
+        b.iter(|| run_golden_soc(&workload, Organization::Multicycle, MAX).unwrap())
+    });
+    group.bench_function("wp1_cu_ic", |b| {
+        b.iter(|| {
+            run_wp_soc(&workload, Organization::Multicycle, &rs, SyncPolicy::Strict, MAX).unwrap()
+        })
+    });
+    group.bench_function("wp2_cu_ic", |b| {
+        b.iter(|| {
+            run_wp_soc(&workload, Organization::Multicycle, &rs, SyncPolicy::Oracle, MAX).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multicycle);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark around the Matrix Multiply half of Table 1, including
+//! the two-relay-station configurations that only appear in the lower half of
+//! the paper's table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_core::SyncPolicy;
+use wp_proc::{matrix_multiply, run_golden_soc, run_wp_soc, Link, Organization, RsConfig};
+
+const MAX: u64 = 10_000_000;
+
+fn bench_matmul_table(c: &mut Criterion) {
+    let workload = matrix_multiply(3, 2005).expect("workload assembles");
+    let mut group = c.benchmark_group("table1_matmul");
+    group.sample_size(10);
+
+    group.bench_function("golden", |b| {
+        b.iter(|| run_golden_soc(&workload, Organization::Pipelined, MAX).unwrap())
+    });
+
+    for (label, rs) in [
+        ("all1_no_cu_ic", RsConfig::uniform(1, &[Link::CuIc])),
+        (
+            "all1_2_rf_alu",
+            RsConfig::uniform(1, &[Link::CuIc]).with(Link::RfAlu, 2),
+        ),
+        ("all2_no_cu_ic", RsConfig::uniform(2, &[Link::CuIc])),
+    ] {
+        group.bench_with_input(BenchmarkId::new("wp1", label), &rs, |b, rs| {
+            b.iter(|| {
+                run_wp_soc(&workload, Organization::Pipelined, rs, SyncPolicy::Strict, MAX)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wp2", label), &rs, |b, rs| {
+            b.iter(|| {
+                run_wp_soc(&workload, Organization::Pipelined, rs, SyncPolicy::Oracle, MAX)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_table);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark around the Extraction Sort half of Table 1: measures
+//! the simulator cost of the golden, WP1 and WP2 runs for representative
+//! relay-station configurations.  (The paper's metric — clock cycles and
+//! throughput — is printed by the `table1` binary; this bench tracks the
+//! wall-clock cost of regenerating it.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_core::SyncPolicy;
+use wp_proc::{extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig};
+
+const MAX: u64 = 10_000_000;
+
+fn bench_sort_table(c: &mut Criterion) {
+    let workload = extraction_sort(8, 2005).expect("workload assembles");
+    let mut group = c.benchmark_group("table1_sort");
+    group.sample_size(10);
+
+    group.bench_function("golden", |b| {
+        b.iter(|| run_golden_soc(&workload, Organization::Pipelined, MAX).unwrap())
+    });
+
+    for (label, rs) in [
+        ("ideal", RsConfig::ideal()),
+        ("only_rf_dc", RsConfig::single(Link::RfDc, 1)),
+        ("only_cu_ic", RsConfig::single(Link::CuIc, 1)),
+        ("all1_no_cu_ic", RsConfig::uniform(1, &[Link::CuIc])),
+    ] {
+        group.bench_with_input(BenchmarkId::new("wp1", label), &rs, |b, rs| {
+            b.iter(|| {
+                run_wp_soc(&workload, Organization::Pipelined, rs, SyncPolicy::Strict, MAX)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wp2", label), &rs, |b, rs| {
+            b.iter(|| {
+                run_wp_soc(&workload, Organization::Pipelined, rs, SyncPolicy::Oracle, MAX)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort_table);
+criterion_main!(benches);

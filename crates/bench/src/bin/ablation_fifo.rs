@@ -1,0 +1,40 @@
+//! Ablation: shell input-queue depth versus throughput.
+//!
+//! The paper makes the semi-infinite queues of the formal model finite and
+//! relies on back-pressure for correctness; this experiment shows how small
+//! the queues can be before throughput suffers on the case-study processor.
+
+use wp_bench::{run_soc_with_shell_config, sort_workload, MAX_CYCLES};
+use wp_core::ShellConfig;
+use wp_proc::{run_golden_soc, Link, Organization, RsConfig};
+
+fn main() {
+    let workload = sort_workload();
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)
+        .expect("golden run completes");
+    let rs = RsConfig::uniform(1, &[Link::CuIc]);
+
+    println!("FIFO-depth ablation: sort, pipelined, All 1 (no CU-IC)\n");
+    println!("{:>8} {:>10} {:>10} {:>8} {:>8}", "depth", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2");
+    for depth in [2usize, 3, 4, 6, 8, 16] {
+        let wp1 = run_soc_with_shell_config(
+            &workload,
+            Organization::Pipelined,
+            &rs,
+            ShellConfig::strict().with_fifo_capacity(depth),
+        )
+        .expect("WP1 run completes");
+        let wp2 = run_soc_with_shell_config(
+            &workload,
+            Organization::Pipelined,
+            &rs,
+            ShellConfig::oracle().with_fifo_capacity(depth),
+        )
+        .expect("WP2 run completes");
+        println!(
+            "{depth:>8} {wp1:>10} {wp2:>10} {:>8.3} {:>8.3}",
+            golden.cycles as f64 / wp1 as f64,
+            golden.cycles as f64 / wp2 as f64
+        );
+    }
+}

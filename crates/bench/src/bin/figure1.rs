@@ -1,0 +1,46 @@
+//! Reproduces Figure 1 of the paper: the case-study netlist (five blocks and
+//! their channels) together with its loop inventory and the per-loop
+//! throughput law.
+
+use wp_bench::sort_workload;
+use wp_netlist::{analyze_loops, loop_inventory, to_dot, DEFAULT_MAX_LOOPS};
+use wp_proc::{build_soc, Link, Organization, RsConfig};
+
+fn main() {
+    let workload = sort_workload();
+    let builder = build_soc(&workload, Organization::Pipelined, &RsConfig::ideal());
+    let net = builder.to_netlist();
+
+    println!("Figure 1: case-study netlist (Graphviz DOT)\n");
+    println!("{}", to_dot(&net, "figure1"));
+
+    println!("Netlist loops and the m/(m+n) law with 1 RS on every link (no CU-IC):");
+    let builder = build_soc(
+        &workload,
+        Organization::Pipelined,
+        &RsConfig::uniform(1, &[Link::CuIc]),
+    );
+    let net = builder.to_netlist();
+    let analysis = analyze_loops(&net, DEFAULT_MAX_LOOPS);
+    println!("{}", loop_inventory(&net, &analysis));
+    println!(
+        "worst-loop (system) throughput predicted for WP1: {:.3}",
+        analysis.system_throughput()
+    );
+
+    println!("\nPer-link worst loop (1 RS on that link only):");
+    for link in Link::ALL {
+        let builder = build_soc(
+            &workload,
+            Organization::Pipelined,
+            &RsConfig::single(link, 1),
+        );
+        let net = builder.to_netlist();
+        let analysis = analyze_loops(&net, DEFAULT_MAX_LOOPS);
+        println!(
+            "  {:<8} predicted WP1 Th = {:.3}",
+            link.label(),
+            analysis.system_throughput()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Validates the loop throughput law of Section 2: a loop containing `m`
+//! processes and `n` relay stations sustains `Th = m/(m+n)` under strict
+//! (WP1) shells, and the oracle (WP2) exceeds that bound when the loop is
+//! excited only once every few computations.
+
+use wp_bench::measure_ring_throughput;
+use wp_core::SyncPolicy;
+use wp_netlist::loop_throughput;
+
+fn main() {
+    const FIRINGS: u64 = 2_000;
+
+    println!("Loop law: measured WP1 throughput vs m/(m+n)\n");
+    println!(
+        "{:>4} {:>4} {:>10} {:>10} {:>8}",
+        "m", "n", "law", "measured", "error"
+    );
+    for m in 1..=6usize {
+        for n in 0..=4usize {
+            let law = loop_throughput(m, n);
+            let measured = measure_ring_throughput(m, n, None, SyncPolicy::Strict, FIRINGS);
+            println!(
+                "{m:>4} {n:>4} {law:>10.3} {measured:>10.3} {:>7.1}%",
+                100.0 * (measured - law).abs() / law
+            );
+        }
+    }
+
+    println!("\nOracle relaxation: 2-process loop, 1 RS, loop excited every k-th firing\n");
+    println!("{:>4} {:>10} {:>10}", "k", "WP1", "WP2");
+    for k in [1u64, 2, 3, 4, 5, 8, 16] {
+        let wp1 = measure_ring_throughput(2, 1, Some(k), SyncPolicy::Strict, FIRINGS);
+        let wp2 = measure_ring_throughput(2, 1, Some(k), SyncPolicy::Oracle, FIRINGS);
+        println!("{k:>4} {wp1:>10.3} {wp2:>10.3}");
+    }
+}

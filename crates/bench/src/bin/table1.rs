@@ -1,0 +1,59 @@
+//! Reproduces Table 1 of the paper: Extraction Sort and Matrix Multiply on
+//! the pipelined processor, over the relay-station configuration sweep,
+//! comparing WP1 (strict shells) with WP2 (oracle shells).
+//!
+//! Usage: `table1 [--program sort|matmul|both]`
+
+use wp_bench::{
+    format_table, matmul_workload, run_table, sort_workload, table1_base_configs,
+    table1_two_rs_configs,
+};
+use wp_proc::Organization;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let program = args
+        .iter()
+        .position(|a| a == "--program")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| args.first().cloned().filter(|a| !a.starts_with("--")))
+        .unwrap_or_else(|| "both".to_string());
+
+    if program == "sort" || program == "both" {
+        let workload = sort_workload();
+        let mut configs = table1_base_configs();
+        configs.push(wp_bench::optimal_config(&workload, Organization::Pipelined, 1));
+        let rows =
+            run_table(&workload, Organization::Pipelined, &configs).expect("sort table runs");
+        println!(
+            "{}",
+            format_table(
+                &format!(
+                    "Table 1 (upper): Extraction Sort, pipelined ({} elements)",
+                    wp_bench::SORT_ELEMENTS
+                ),
+                &rows
+            )
+        );
+    }
+    if program == "matmul" || program == "both" {
+        let workload = matmul_workload();
+        let mut configs = table1_base_configs();
+        configs.push(wp_bench::optimal_config(&workload, Organization::Pipelined, 1));
+        configs.extend(table1_two_rs_configs());
+        configs.push(wp_bench::optimal_config(&workload, Organization::Pipelined, 2));
+        let rows =
+            run_table(&workload, Organization::Pipelined, &configs).expect("matmul table runs");
+        println!(
+            "{}",
+            format_table(
+                &format!(
+                    "Table 1 (lower): Matrix Multiply, pipelined ({0}x{0})",
+                    wp_bench::MATMUL_DIM
+                ),
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Equivalence between the original and the wire-pipelined system.
+//!
+//! The paper defines two systems to be **N-equivalent** when, after filtering
+//! the void symbols τ out of every channel realisation, each signal exhibits
+//! at least `N` values and the first `N` values coincide on every channel.
+//! They are **equivalent** when they are N-equivalent for every N, i.e. the
+//! τ-filtered realisations are prefix-compatible for as long as both are
+//! observed.
+//!
+//! The functions in this module implement those definitions on recorded
+//! [`ChannelTrace`]s and are used by every experiment in the workspace to
+//! prove that wrapping and wire pipelining preserved functionality.
+
+use std::fmt;
+
+use crate::trace::ChannelTrace;
+
+/// The verdict of comparing one pair of channel realisations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelVerdict {
+    /// The common prefix of the τ-filtered sequences matches.
+    Match {
+        /// Number of values compared (the shorter of the two sequences).
+        compared: usize,
+    },
+    /// A mismatch was found at a specific position of the τ-filtered
+    /// sequences.
+    Mismatch {
+        /// Index (tag) of the first differing value.
+        position: usize,
+    },
+}
+
+impl ChannelVerdict {
+    /// Returns `true` for [`ChannelVerdict::Match`].
+    pub fn is_match(&self) -> bool {
+        matches!(self, ChannelVerdict::Match { .. })
+    }
+}
+
+/// The outcome of checking a set of channels for equivalence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EquivalenceReport {
+    entries: Vec<(String, ChannelVerdict)>,
+}
+
+impl EquivalenceReport {
+    /// Returns `true` when every compared channel matched on its common
+    /// prefix.
+    pub fn is_equivalent(&self) -> bool {
+        self.entries.iter().all(|(_, v)| v.is_match())
+    }
+
+    /// The greatest `N` such that the two systems are provably N-equivalent
+    /// from the recorded traces: the minimum compared-prefix length over all
+    /// channels, or 0 if any channel mismatched.
+    pub fn proven_n(&self) -> usize {
+        if !self.is_equivalent() {
+            return 0;
+        }
+        self.entries
+            .iter()
+            .map(|(_, v)| match v {
+                ChannelVerdict::Match { compared } => *compared,
+                ChannelVerdict::Mismatch { .. } => 0,
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Per-channel verdicts, in the order the channels were supplied.
+    pub fn entries(&self) -> &[(String, ChannelVerdict)] {
+        &self.entries
+    }
+
+    /// Names of the channels that mismatched.
+    pub fn mismatched_channels(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, v)| !v.is_match())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for EquivalenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_equivalent() {
+            write!(f, "equivalent (proven N = {})", self.proven_n())
+        } else {
+            write!(f, "NOT equivalent: ")?;
+            for (i, name) in self.mismatched_channels().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks whether two τ-filtered value sequences agree on their first `n`
+/// elements (the paper's N-equivalence restricted to a single channel).
+///
+/// Returns `false` when either sequence is shorter than `n`.
+pub fn n_equivalent<V: PartialEq>(reference: &[V], candidate: &[V], n: usize) -> bool {
+    if reference.len() < n || candidate.len() < n {
+        return false;
+    }
+    reference[..n] == candidate[..n]
+}
+
+/// Compares one pair of τ-filtered sequences on their common prefix.
+pub fn compare_filtered<V: PartialEq>(reference: &[V], candidate: &[V]) -> ChannelVerdict {
+    let compared = reference.len().min(candidate.len());
+    for i in 0..compared {
+        if reference[i] != candidate[i] {
+            return ChannelVerdict::Mismatch { position: i };
+        }
+    }
+    ChannelVerdict::Match { compared }
+}
+
+/// Checks a set of paired channel traces for equivalence.
+///
+/// The traces are paired by position; the names of the reference traces are
+/// used in the report.  Channels present in one system but not the other are
+/// a construction error and should be filtered out by the caller.
+///
+/// # Examples
+///
+/// ```
+/// use wp_core::{check_equivalence, ChannelTrace, Token};
+///
+/// let mut golden = ChannelTrace::new("out");
+/// let mut pipelined = ChannelTrace::new("out");
+/// for v in 0..4u32 {
+///     golden.record(Token::Valid(v));
+///     pipelined.record(Token::Void);       // latency differs ...
+///     pipelined.record(Token::Valid(v));   // ... but values agree
+/// }
+/// let report = check_equivalence(&[golden], &[pipelined]);
+/// assert!(report.is_equivalent());
+/// assert_eq!(report.proven_n(), 4);
+/// ```
+pub fn check_equivalence<V: Clone + PartialEq>(
+    reference: &[ChannelTrace<V>],
+    candidate: &[ChannelTrace<V>],
+) -> EquivalenceReport {
+    let entries = reference
+        .iter()
+        .zip(candidate.iter())
+        .map(|(r, c)| {
+            let verdict = compare_filtered(&r.filtered(), &c.filtered());
+            (r.name().to_string(), verdict)
+        })
+        .collect();
+    EquivalenceReport { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    fn trace(name: &str, values: &[Option<u32>]) -> ChannelTrace<u32> {
+        let mut t = ChannelTrace::new(name);
+        for v in values {
+            t.record(v.map_or(Token::Void, Token::Valid));
+        }
+        t
+    }
+
+    #[test]
+    fn identical_sequences_are_n_equivalent() {
+        assert!(n_equivalent(&[1, 2, 3], &[1, 2, 3], 3));
+        assert!(n_equivalent(&[1, 2, 3, 4], &[1, 2, 3], 3));
+        assert!(!n_equivalent(&[1, 2], &[1, 2], 3));
+        assert!(!n_equivalent(&[1, 2, 9], &[1, 2, 3], 3));
+    }
+
+    #[test]
+    fn compare_filtered_finds_first_mismatch() {
+        assert_eq!(
+            compare_filtered(&[1, 2, 3], &[1, 9, 3]),
+            ChannelVerdict::Mismatch { position: 1 }
+        );
+        assert_eq!(
+            compare_filtered(&[1, 2], &[1, 2, 3]),
+            ChannelVerdict::Match { compared: 2 }
+        );
+    }
+
+    #[test]
+    fn void_symbols_do_not_affect_equivalence() {
+        let golden = trace("a", &[Some(1), Some(2), Some(3)]);
+        let wp = trace("a", &[None, Some(1), None, None, Some(2), Some(3), None]);
+        let report = check_equivalence(&[golden], &[wp]);
+        assert!(report.is_equivalent());
+        assert_eq!(report.proven_n(), 3);
+    }
+
+    #[test]
+    fn value_mismatch_is_detected_and_named() {
+        let golden = trace("data", &[Some(1), Some(2)]);
+        let wp = trace("data", &[Some(1), Some(7)]);
+        let report = check_equivalence(&[golden], &[wp]);
+        assert!(!report.is_equivalent());
+        assert_eq!(report.proven_n(), 0);
+        assert_eq!(report.mismatched_channels(), vec!["data"]);
+        assert!(format!("{report}").contains("NOT equivalent"));
+    }
+
+    #[test]
+    fn proven_n_is_minimum_over_channels() {
+        let g1 = trace("a", &[Some(1), Some(2), Some(3)]);
+        let g2 = trace("b", &[Some(9), Some(8)]);
+        let c1 = trace("a", &[Some(1), Some(2), Some(3)]);
+        let c2 = trace("b", &[Some(9)]);
+        let report = check_equivalence(&[g1, g2], &[c1, c2]);
+        assert!(report.is_equivalent());
+        assert_eq!(report.proven_n(), 1);
+        assert!(format!("{report}").contains("N = 1"));
+    }
+}

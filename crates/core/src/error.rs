@@ -1,0 +1,81 @@
+//! Error types of the latency-insensitive protocol core.
+
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the latency-insensitive protocol detected at run time.
+///
+/// These errors never occur in a correctly assembled system; they indicate a
+/// construction mistake (mismatched port counts, missing back-pressure, …)
+/// and are surfaced instead of silently corrupting the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A valid token arrived at a queue that was already full, i.e. the
+    /// producer ignored an asserted stop signal.
+    FifoOverflow {
+        /// Capacity of the overflowing queue.
+        capacity: usize,
+    },
+    /// A valid token arrived at a relay station whose both registers were
+    /// occupied.
+    RelayOverflow,
+    /// A component was wired with an unexpected number of ports.
+    PortCountMismatch {
+        /// Ports the component exposes.
+        expected: usize,
+        /// Ports the caller supplied.
+        actual: usize,
+    },
+    /// A shell was asked to fire with a required input missing.
+    MissingRequiredInput {
+        /// Index of the missing input port.
+        port: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::FifoOverflow { capacity } => {
+                write!(f, "input queue overflow (capacity {capacity}): stop signal was not honoured")
+            }
+            ProtocolError::RelayOverflow => {
+                write!(f, "relay station overflow: both main and auxiliary registers were full")
+            }
+            ProtocolError::PortCountMismatch { expected, actual } => {
+                write!(f, "port count mismatch: component has {expected} ports, caller supplied {actual}")
+            }
+            ProtocolError::MissingRequiredInput { port } => {
+                write!(f, "required input on port {port} was missing at firing time")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ProtocolError::FifoOverflow { capacity: 4 };
+        let msg = e.to_string();
+        assert!(msg.contains("overflow"));
+        assert!(msg.contains('4'));
+
+        let e = ProtocolError::PortCountMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

@@ -1,0 +1,192 @@
+//! Bounded FIFO queues used inside shells.
+//!
+//! The paper first presents shells with *semi-infinite* FIFOs and then makes
+//! them practical by bounding the depth and adding back-pressure ("stop"
+//! signals).  [`BoundedFifo`] is that bounded queue; the shell asserts the
+//! stop signal towards the producer based on [`BoundedFifo::is_almost_full`]
+//! so that the one-cycle latency of the registered stop signal can never
+//! overflow the queue.
+
+use std::collections::VecDeque;
+
+use crate::error::ProtocolError;
+
+/// A bounded first-in/first-out queue of channel payloads.
+///
+/// # Examples
+///
+/// ```
+/// use wp_core::BoundedFifo;
+///
+/// let mut fifo = BoundedFifo::new(2);
+/// fifo.push(10u32)?;
+/// fifo.push(20u32)?;
+/// assert!(fifo.is_full());
+/// assert_eq!(fifo.pop(), Some(10));
+/// assert_eq!(fifo.len(), 1);
+/// # Ok::<(), wp_core::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedFifo<V> {
+    items: VecDeque<V>,
+    capacity: usize,
+}
+
+impl<V> BoundedFifo<V> {
+    /// Creates an empty FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`: the latency-insensitive protocol with
+    /// registered stop signals needs at least two slots (one in-flight token
+    /// can still arrive after the stop has been asserted).
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity >= 2,
+            "latency-insensitive input queues need capacity >= 2, got {capacity}"
+        );
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The maximum number of payloads the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of payloads currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when the queue holds no payloads.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` when no further payload can be pushed.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Returns `true` when at most one free slot remains.
+    ///
+    /// This is the threshold at which a shell asserts its (registered) stop
+    /// signal: the producer observes the stop one cycle later, so exactly one
+    /// more valid token may still arrive and must fit.
+    pub fn is_almost_full(&self) -> bool {
+        self.items.len() + 1 >= self.capacity
+    }
+
+    /// Number of free slots remaining.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Appends a payload at the back of the queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::FifoOverflow`] when the queue is already
+    /// full.  In a correctly back-pressured system this never happens; the
+    /// error indicates a protocol violation (e.g. a stop signal that was not
+    /// honoured).
+    pub fn push(&mut self, value: V) -> Result<(), ProtocolError> {
+        if self.is_full() {
+            return Err(ProtocolError::FifoOverflow {
+                capacity: self.capacity,
+            });
+        }
+        self.items.push_back(value);
+        Ok(())
+    }
+
+    /// Removes and returns the payload at the front of the queue.
+    pub fn pop(&mut self) -> Option<V> {
+        self.items.pop_front()
+    }
+
+    /// Borrows the payload at the front of the queue without removing it.
+    pub fn front(&self) -> Option<&V> {
+        self.items.front()
+    }
+
+    /// Removes every queued payload.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates over queued payloads from front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &V> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_preserves_order() {
+        let mut f = BoundedFifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert!(f.is_full());
+        assert_eq!(f.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(i));
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let mut f = BoundedFifo::new(2);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        let err = f.push(3).unwrap_err();
+        assert!(matches!(err, ProtocolError::FifoOverflow { capacity: 2 }));
+    }
+
+    #[test]
+    fn almost_full_threshold() {
+        let mut f = BoundedFifo::new(3);
+        assert!(!f.is_almost_full());
+        f.push(1).unwrap();
+        assert!(!f.is_almost_full());
+        f.push(2).unwrap();
+        assert!(f.is_almost_full());
+        assert!(!f.is_full());
+        f.push(3).unwrap();
+        assert!(f.is_almost_full());
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn capacity_two_is_always_almost_full_when_nonempty() {
+        let mut f = BoundedFifo::new(2);
+        assert!(!f.is_almost_full());
+        f.push(9).unwrap();
+        assert!(f.is_almost_full());
+    }
+
+    #[test]
+    fn front_and_clear() {
+        let mut f = BoundedFifo::new(2);
+        f.push(5).unwrap();
+        assert_eq!(f.front(), Some(&5));
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.free_slots(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn capacity_below_two_panics() {
+        let _ = BoundedFifo::<u8>::new(1);
+    }
+}

@@ -1,0 +1,296 @@
+//! The process (IP block) interface.
+//!
+//! In the paper, *processes* exchange *signals* by means of *channels*.  A
+//! process is an ordinary synchronous IP block: it does not know anything
+//! about wire pipelining.  The only extra information the new methodology
+//! (WP2) asks of a block is its *communication profile*: which inputs the
+//! next computation will actually read, as a function of the block's internal
+//! state.  That is the *oracle* of the paper and is exposed here as
+//! [`Process::required_inputs`]; blocks that cannot provide it simply keep
+//! the default ("all inputs"), which degrades the shell to the classical
+//! Carloni behaviour (WP1).
+//!
+//! # The Moore contract
+//!
+//! A process is modelled as a Moore machine:
+//!
+//! * [`Process::output`] is a pure function of the current state and gives the
+//!   value presented on each output port *before* the next firing;
+//! * [`Process::fire`] consumes at most one value per input port and advances
+//!   the state by one step (one firing = one clock cycle of the original,
+//!   un-pipelined system).
+//!
+//! In the original system every process fires every clock cycle; under wire
+//! pipelining the shell decides when the process may fire.
+//!
+//! # Blindness obligation
+//!
+//! If [`Process::required_inputs`] does not contain a port, the subsequent
+//! [`Process::fire`] call **must not depend** on that port's value (the shell
+//! passes `None` for it and may have discarded the actual token).  This is the
+//! "process blindness" that makes the relaxation of synchronicity of the paper
+//! sound; the equivalence checker in [`crate::equivalence`] is the practical
+//! tool to validate it.
+
+use crate::port::PortSet;
+
+/// A synchronous IP block that can be enclosed in a latency-insensitive shell.
+///
+/// The type parameter `V` is the payload type carried by every channel of the
+/// system (typically an `enum` of message kinds).
+///
+/// # Examples
+///
+/// A one-input/one-output accumulator:
+///
+/// ```
+/// use wp_core::{PortSet, Process};
+///
+/// struct Accumulator { sum: u64 }
+///
+/// impl Process<u64> for Accumulator {
+///     fn name(&self) -> &str { "acc" }
+///     fn num_inputs(&self) -> usize { 1 }
+///     fn num_outputs(&self) -> usize { 1 }
+///     fn output(&self, _port: usize) -> u64 { self.sum }
+///     fn fire(&mut self, inputs: &[Option<u64>]) {
+///         if let Some(v) = inputs[0] { self.sum += v; }
+///     }
+///     fn reset(&mut self) { self.sum = 0; }
+/// }
+///
+/// let mut acc = Accumulator { sum: 0 };
+/// assert_eq!(acc.required_inputs(), PortSet::all(1));
+/// acc.fire(&[Some(5)]);
+/// assert_eq!(acc.output(0), 5);
+/// ```
+pub trait Process<V> {
+    /// Human-readable block name (used in statistics and error reports).
+    fn name(&self) -> &str;
+
+    /// Number of input ports of the block.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output ports of the block.
+    fn num_outputs(&self) -> usize;
+
+    /// Moore output function: the value currently presented on output `port`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `port >= self.num_outputs()`.
+    fn output(&self, port: usize) -> V;
+
+    /// The oracle: the set of input ports the **next** [`Process::fire`] call
+    /// will read.
+    ///
+    /// The default implementation requires every input, which corresponds to
+    /// the strict (WP1) behaviour.
+    fn required_inputs(&self) -> PortSet {
+        PortSet::all(self.num_inputs())
+    }
+
+    /// Consumes one value per provided input port and advances the state by
+    /// one firing.
+    ///
+    /// `inputs[p]` is `Some(v)` when a value is supplied for port `p` and
+    /// `None` otherwise.  Ports listed by [`Process::required_inputs`] are
+    /// always supplied by a correct shell; other ports may be `None` and must
+    /// not influence the new state (see the module documentation).
+    fn fire(&mut self, inputs: &[Option<V>]);
+
+    /// Returns `true` once the block has reached a terminal state (e.g. a
+    /// processor that executed a HALT instruction).  Simulators use this to
+    /// stop the run.
+    fn is_halted(&self) -> bool {
+        false
+    }
+
+    /// Exposes the block as [`std::any::Any`] so that callers can downcast to
+    /// the concrete type, e.g. to read architectural state (register file or
+    /// memory contents) after a simulation.
+    ///
+    /// The default implementation returns `None`; blocks that want to be
+    /// inspectable override it with `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Restores the initial state of the block.
+    fn reset(&mut self);
+}
+
+/// Collects the current value of every output port of a process.
+pub fn collect_outputs<V, P: Process<V> + ?Sized>(process: &P) -> Vec<V> {
+    (0..process.num_outputs()).map(|p| process.output(p)).collect()
+}
+
+/// A simple source process that emits a fixed sequence and then repeats its
+/// last element (or a default) forever.
+///
+/// Useful as a traffic generator in tests, examples and synthetic benchmarks.
+#[derive(Debug, Clone)]
+pub struct SequenceSource<V> {
+    name: String,
+    sequence: Vec<V>,
+    idle: V,
+    position: usize,
+}
+
+impl<V: Clone> SequenceSource<V> {
+    /// Creates a source emitting `sequence` one element per firing, then
+    /// `idle` forever.
+    pub fn new(name: impl Into<String>, sequence: Vec<V>, idle: V) -> Self {
+        Self {
+            name: name.into(),
+            sequence,
+            idle,
+            position: 0,
+        }
+    }
+
+    /// Number of elements already emitted.
+    pub fn emitted(&self) -> usize {
+        self.position
+    }
+}
+
+impl<V: Clone> Process<V> for SequenceSource<V> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        0
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn output(&self, _port: usize) -> V {
+        self.sequence.get(self.position).unwrap_or(&self.idle).clone()
+    }
+
+    fn fire(&mut self, _inputs: &[Option<V>]) {
+        if self.position < self.sequence.len() {
+            self.position += 1;
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.position >= self.sequence.len()
+    }
+
+    fn reset(&mut self) {
+        self.position = 0;
+    }
+}
+
+/// A sink process that records every value it consumes on its single input.
+///
+/// Useful to observe the values reaching the end of a pipeline in tests and
+/// examples.
+#[derive(Debug, Clone)]
+pub struct RecordingSink<V> {
+    name: String,
+    received: Vec<V>,
+    idle: V,
+}
+
+impl<V: Clone> RecordingSink<V> {
+    /// Creates a sink; `idle` is the value presented on its (unused) output.
+    pub fn new(name: impl Into<String>, idle: V) -> Self {
+        Self {
+            name: name.into(),
+            received: Vec::new(),
+            idle,
+        }
+    }
+
+    /// The values consumed so far, in order.
+    pub fn received(&self) -> &[V] {
+        &self.received
+    }
+}
+
+impl<V: Clone> Process<V> for RecordingSink<V> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn output(&self, _port: usize) -> V {
+        self.idle.clone()
+    }
+
+    fn fire(&mut self, inputs: &[Option<V>]) {
+        if let Some(Some(v)) = inputs.first() {
+            self.received.push(v.clone());
+        }
+    }
+
+    fn reset(&mut self) {
+        self.received.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_source_emits_then_idles() {
+        let mut src = SequenceSource::new("src", vec![1u32, 2, 3], 0);
+        assert_eq!(src.output(0), 1);
+        src.fire(&[]);
+        assert_eq!(src.output(0), 2);
+        src.fire(&[]);
+        src.fire(&[]);
+        assert!(src.is_halted());
+        assert_eq!(src.output(0), 0);
+        assert_eq!(src.emitted(), 3);
+        src.reset();
+        assert_eq!(src.output(0), 1);
+        assert!(!src.is_halted());
+    }
+
+    #[test]
+    fn recording_sink_collects_inputs() {
+        let mut sink = RecordingSink::new("sink", 0u32);
+        sink.fire(&[Some(4)]);
+        sink.fire(&[None]);
+        sink.fire(&[Some(6)]);
+        assert_eq!(sink.received(), &[4, 6]);
+        sink.reset();
+        assert!(sink.received().is_empty());
+    }
+
+    #[test]
+    fn default_oracle_requires_all_inputs() {
+        let sink = RecordingSink::new("sink", 0u32);
+        assert_eq!(sink.required_inputs(), PortSet::all(1));
+        let src = SequenceSource::new("src", vec![1u8], 0);
+        assert_eq!(src.required_inputs(), PortSet::empty());
+    }
+
+    #[test]
+    fn collect_outputs_gathers_every_port() {
+        let src = SequenceSource::new("src", vec![9u32], 0);
+        assert_eq!(collect_outputs(&src), vec![9]);
+    }
+
+    #[test]
+    fn process_trait_is_object_safe() {
+        let boxed: Box<dyn Process<u32>> = Box::new(SequenceSource::new("s", vec![1], 0));
+        assert_eq!(boxed.num_outputs(), 1);
+        assert_eq!(boxed.name(), "s");
+    }
+}

@@ -1,0 +1,177 @@
+//! Signal traces: per-cycle recordings of channel contents.
+//!
+//! A *realisation* of a channel over a time interval is the sequence of
+//! tokens observed on it, void symbols included — exactly the
+//! `(v1,t1), τ, τ, (v2,t2), …` sequences of the paper.  [`ChannelTrace`]
+//! records such a realisation; τ-filtering and tag reconstruction turn it
+//! into the event sequence used by the equivalence definitions.
+
+use std::fmt;
+
+use crate::token::{Event, Token};
+
+/// The recorded realisation of one channel: one token per simulated cycle.
+///
+/// # Examples
+///
+/// ```
+/// use wp_core::{ChannelTrace, Token};
+///
+/// let mut trace = ChannelTrace::new("alu_flags");
+/// trace.record(Token::Valid(1u32));
+/// trace.record(Token::Void);
+/// trace.record(Token::Valid(2u32));
+/// assert_eq!(trace.filtered(), vec![1, 2]);
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.valid_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ChannelTrace<V> {
+    name: String,
+    tokens: Vec<Token<V>>,
+}
+
+impl<V: Clone> ChannelTrace<V> {
+    /// Creates an empty trace for the channel called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            tokens: Vec::new(),
+        }
+    }
+
+    /// The channel name this trace belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends the token observed during one more cycle.
+    pub fn record(&mut self, token: Token<V>) {
+        self.tokens.push(token);
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The raw per-cycle tokens.
+    pub fn tokens(&self) -> &[Token<V>] {
+        &self.tokens
+    }
+
+    /// Number of informative (valid) tokens recorded.
+    pub fn valid_count(&self) -> usize {
+        self.tokens.iter().filter(|t| t.is_valid()).count()
+    }
+
+    /// The τ-filtered sequence of payloads, in order of appearance.
+    pub fn filtered(&self) -> Vec<V> {
+        self.tokens
+            .iter()
+            .filter_map(|t| t.as_valid().cloned())
+            .collect()
+    }
+
+    /// The τ-filtered sequence with reconstructed tags: the k-th valid token
+    /// gets tag k, as guaranteed by the ordering property of
+    /// latency-insensitive channels.
+    pub fn events(&self) -> Vec<Event<V>> {
+        self.filtered()
+            .into_iter()
+            .enumerate()
+            .map(|(k, v)| Event::new(v, k as u64))
+            .collect()
+    }
+
+    /// Fraction of recorded cycles carrying a valid token (the channel
+    /// utilisation, which for the output of a block equals its throughput).
+    pub fn utilization(&self) -> f64 {
+        if self.tokens.is_empty() {
+            0.0
+        } else {
+            self.valid_count() as f64 / self.tokens.len() as f64
+        }
+    }
+
+    /// Clears the recording.
+    pub fn clear(&mut self) {
+        self.tokens.clear();
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for ChannelTrace<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for t in &self.tokens {
+            write!(f, "{t} ")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChannelTrace<u32> {
+        let mut t = ChannelTrace::new("ch");
+        for tok in [
+            Token::Valid(1),
+            Token::Void,
+            Token::Void,
+            Token::Valid(2),
+            Token::Valid(3),
+            Token::Void,
+        ] {
+            t.record(tok);
+        }
+        t
+    }
+
+    #[test]
+    fn filtering_removes_void_symbols() {
+        let t = sample();
+        assert_eq!(t.filtered(), vec![1, 2, 3]);
+        assert_eq!(t.valid_count(), 3);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn events_reconstruct_tags_in_order() {
+        let t = sample();
+        let events = t.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], Event::new(1, 0));
+        assert_eq!(events[2], Event::new(3, 2));
+    }
+
+    #[test]
+    fn utilization_is_valid_fraction() {
+        let t = sample();
+        assert!((t.utilization() - 0.5).abs() < 1e-12);
+        let empty: ChannelTrace<u32> = ChannelTrace::new("e");
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets_the_trace() {
+        let mut t = sample();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.name(), "ch");
+    }
+
+    #[test]
+    fn display_shows_tau() {
+        let t = sample();
+        let s = format!("{t}");
+        assert!(s.contains('τ'));
+        assert!(s.starts_with("ch:"));
+    }
+}

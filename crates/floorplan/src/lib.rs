@@ -1,0 +1,548 @@
+//! # wp-floorplan — physical-design substrate for wire-pipelined SoCs
+//!
+//! The paper's methodology starts from a physical fact: global wires between
+//! IP blocks are too slow for the target clock and must be pipelined with
+//! relay stations.  This crate provides the minimal physical-design loop
+//! needed to make that methodology end-to-end runnable:
+//!
+//! 1. place rectangular blocks on a die ([`Floorplan`], [`Placement`]);
+//! 2. estimate per-net wire length (centre-to-centre half-perimeter) and
+//!    delay ([`WireModel`]);
+//! 3. budget relay stations per channel
+//!    ([`wp_netlist::relay_stations_for_delay`]);
+//! 4. evaluate the resulting system throughput with the loop law and
+//!    optionally anneal the placement to trade wire length against loop
+//!    throughput ([`anneal`]).
+//!
+//! ```
+//! use wp_floorplan::{Block, Floorplan, WireModel};
+//! use wp_netlist::Netlist;
+//!
+//! let mut net = Netlist::new();
+//! let cu = net.add_node("CU");
+//! let alu = net.add_node("ALU");
+//! net.add_edge("opcode", cu, alu);
+//! net.add_edge("flags", alu, cu);
+//!
+//! let mut fp = Floorplan::new(10.0, 10.0);
+//! fp.add_block(Block::new("CU", 2.0, 2.0));
+//! fp.add_block(Block::new("ALU", 2.0, 2.0));
+//! let placement = fp.initial_placement();
+//! let model = WireModel::nm130(1.0); // 1 ns clock
+//! let budget = fp.relay_station_budget(&net, &placement, &model);
+//! assert_eq!(budget.len(), net.edge_count());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wp_netlist::{analyze_loops, relay_stations_for_delay, Netlist, DEFAULT_MAX_LOOPS};
+
+/// A rectangular IP block to be placed on the die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    name: String,
+    width: f64,
+    height: f64,
+}
+
+impl Block {
+    /// Creates a block with the given dimensions (mm).
+    pub fn new(name: impl Into<String>, width: f64, height: f64) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+        }
+    }
+
+    /// The block name (must match the netlist node name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Block width in mm.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Block height in mm.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Block area in mm².
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+/// A placement: the lower-left corner of every block, in block order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Placement {
+    positions: Vec<(f64, f64)>,
+}
+
+impl Placement {
+    /// Creates a placement from explicit positions.
+    pub fn new(positions: Vec<(f64, f64)>) -> Self {
+        Self { positions }
+    }
+
+    /// Lower-left corner of block `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn position(&self, i: usize) -> (f64, f64) {
+        self.positions[i]
+    }
+
+    /// Number of placed blocks.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when no block is placed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Mutable access used by the annealer.
+    fn position_mut(&mut self, i: usize) -> &mut (f64, f64) {
+        &mut self.positions[i]
+    }
+}
+
+/// Wire delay model: a linear (optimally repeated) term plus the technology
+/// clock.  All delays are in nanoseconds and lengths in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Delay per millimetre of repeated global wire (ns/mm).
+    pub ns_per_mm: f64,
+    /// Target clock period (ns).
+    pub clock_ns: f64,
+}
+
+impl WireModel {
+    /// A 130 nm global-wire model (the technology of the paper's synthesis
+    /// experiments): roughly 0.25 ns/mm for an optimally repeated wire.
+    pub fn nm130(clock_ns: f64) -> Self {
+        Self {
+            ns_per_mm: 0.25,
+            clock_ns,
+        }
+    }
+
+    /// Delay of a wire of the given length.
+    pub fn delay(&self, length_mm: f64) -> f64 {
+        self.ns_per_mm * length_mm
+    }
+
+    /// Relay stations needed for a wire of the given length.
+    pub fn relay_stations(&self, length_mm: f64) -> usize {
+        relay_stations_for_delay(self.delay(length_mm), self.clock_ns)
+    }
+}
+
+/// A die with a set of blocks to place.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Floorplan {
+    die_width: f64,
+    die_height: f64,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan on a die of the given size (mm).
+    pub fn new(die_width: f64, die_height: f64) -> Self {
+        Self {
+            die_width,
+            die_height,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Adds a block and returns its index.
+    pub fn add_block(&mut self, block: Block) -> usize {
+        self.blocks.push(block);
+        self.blocks.len() - 1
+    }
+
+    /// The blocks added so far.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Finds a block index by name.
+    pub fn find_block(&self, name: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.name == name)
+    }
+
+    /// Die dimensions (mm).
+    pub fn die(&self) -> (f64, f64) {
+        (self.die_width, self.die_height)
+    }
+
+    /// A simple deterministic initial placement: blocks in a row-major grid.
+    pub fn initial_placement(&self) -> Placement {
+        let n = self.blocks.len().max(1);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let cell_w = self.die_width / cols as f64;
+        let rows = n.div_ceil(cols);
+        let cell_h = self.die_height / rows as f64;
+        let positions = (0..self.blocks.len())
+            .map(|i| {
+                let col = i % cols;
+                let row = i / cols;
+                (col as f64 * cell_w, row as f64 * cell_h)
+            })
+            .collect();
+        Placement { positions }
+    }
+
+    /// Centre-to-centre Manhattan wire length of the channel between two
+    /// placed blocks.
+    pub fn wire_length(&self, placement: &Placement, src: usize, dst: usize) -> f64 {
+        let (sx, sy) = placement.position(src);
+        let (dx, dy) = placement.position(dst);
+        let scx = sx + self.blocks[src].width / 2.0;
+        let scy = sy + self.blocks[src].height / 2.0;
+        let dcx = dx + self.blocks[dst].width / 2.0;
+        let dcy = dy + self.blocks[dst].height / 2.0;
+        (scx - dcx).abs() + (scy - dcy).abs()
+    }
+
+    /// Total wire length over every channel of the netlist.
+    ///
+    /// Netlist nodes are matched to blocks by name; unmatched nodes contribute
+    /// zero length.
+    pub fn total_wire_length(&self, net: &Netlist, placement: &Placement) -> f64 {
+        net.edge_ids()
+            .map(|e| {
+                let edge = net.edge(e);
+                let src = self.find_block(net.node(edge.src()).name());
+                let dst = self.find_block(net.node(edge.dst()).name());
+                match (src, dst) {
+                    (Some(s), Some(d)) => self.wire_length(placement, s, d),
+                    _ => 0.0,
+                }
+            })
+            .sum()
+    }
+
+    /// Relay stations required on every channel under the given placement and
+    /// wire model (indexed like the netlist edges).
+    pub fn relay_station_budget(
+        &self,
+        net: &Netlist,
+        placement: &Placement,
+        model: &WireModel,
+    ) -> Vec<usize> {
+        net.edge_ids()
+            .map(|e| {
+                let edge = net.edge(e);
+                let src = self.find_block(net.node(edge.src()).name());
+                let dst = self.find_block(net.node(edge.dst()).name());
+                match (src, dst) {
+                    (Some(s), Some(d)) => {
+                        model.relay_stations(self.wire_length(placement, s, d))
+                    }
+                    _ => 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Predicted worst-loop throughput of the netlist once every channel is
+    /// pipelined according to the placement and wire model.
+    pub fn predicted_throughput(
+        &self,
+        net: &Netlist,
+        placement: &Placement,
+        model: &WireModel,
+    ) -> f64 {
+        let mut annotated = net.clone();
+        let budget = self.relay_station_budget(net, placement, model);
+        annotated.apply_relay_station_assignment(&budget);
+        analyze_loops(&annotated, DEFAULT_MAX_LOOPS).system_throughput()
+    }
+
+    /// Returns `true` when two placed blocks overlap.
+    pub fn has_overlap(&self, placement: &Placement) -> bool {
+        for i in 0..self.blocks.len() {
+            for j in (i + 1)..self.blocks.len() {
+                let (xi, yi) = placement.position(i);
+                let (xj, yj) = placement.position(j);
+                let (wi, hi) = (self.blocks[i].width, self.blocks[i].height);
+                let (wj, hj) = (self.blocks[j].width, self.blocks[j].height);
+                let separated =
+                    xi + wi <= xj || xj + wj <= xi || yi + hi <= yj || yj + hj <= yi;
+                if !separated {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Parameters of the simulated-annealing placer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Number of proposed moves.
+    pub iterations: usize,
+    /// Initial temperature (in cost units).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor applied every iteration.
+    pub cooling: f64,
+    /// Weight of the total wire length in the cost (per mm).
+    pub wirelength_weight: f64,
+    /// Weight of the throughput loss `(1 - Th)` in the cost.
+    pub throughput_weight: f64,
+    /// Penalty added per overlapping placement.
+    pub overlap_penalty: f64,
+    /// Seed of the pseudo-random generator (runs are reproducible).
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 2_000,
+            initial_temperature: 10.0,
+            cooling: 0.995,
+            wirelength_weight: 0.05,
+            throughput_weight: 10.0,
+            overlap_penalty: 50.0,
+            seed: 1,
+        }
+    }
+}
+
+/// The result of a placement optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealResult {
+    /// The best placement found.
+    pub placement: Placement,
+    /// Its cost.
+    pub cost: f64,
+    /// Its total wire length (mm).
+    pub wire_length: f64,
+    /// Its predicted worst-loop throughput.
+    pub predicted_throughput: f64,
+    /// Number of accepted moves.
+    pub accepted_moves: usize,
+}
+
+/// Cost of a placement under the annealer's objective.
+pub fn placement_cost(
+    fp: &Floorplan,
+    net: &Netlist,
+    placement: &Placement,
+    model: &WireModel,
+    config: &AnnealConfig,
+) -> f64 {
+    let wirelength = fp.total_wire_length(net, placement);
+    let throughput = fp.predicted_throughput(net, placement, model);
+    let overlap = if fp.has_overlap(placement) {
+        config.overlap_penalty
+    } else {
+        0.0
+    };
+    config.wirelength_weight * wirelength + config.throughput_weight * (1.0 - throughput) + overlap
+}
+
+/// Simulated-annealing placement: random block displacements and swaps,
+/// accepted with the usual Metropolis criterion on the throughput-aware cost.
+pub fn anneal(
+    fp: &Floorplan,
+    net: &Netlist,
+    model: &WireModel,
+    config: &AnnealConfig,
+) -> AnnealResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut current = fp.initial_placement();
+    let mut current_cost = placement_cost(fp, net, &current, model, config);
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut temperature = config.initial_temperature;
+    let mut accepted = 0usize;
+    let n = fp.blocks().len();
+    let (die_w, die_h) = fp.die();
+
+    if n == 0 {
+        return AnnealResult {
+            placement: current,
+            cost: current_cost,
+            wire_length: 0.0,
+            predicted_throughput: 1.0,
+            accepted_moves: 0,
+        };
+    }
+
+    for _ in 0..config.iterations {
+        let mut candidate = current.clone();
+        if n >= 2 && rng.gen_bool(0.5) {
+            // Swap two blocks.
+            let i = rng.gen_range(0..n);
+            let mut j = rng.gen_range(0..n);
+            while j == i {
+                j = rng.gen_range(0..n);
+            }
+            let pi = candidate.position(i);
+            let pj = candidate.position(j);
+            *candidate.position_mut(i) = pj;
+            *candidate.position_mut(j) = pi;
+        } else {
+            // Displace one block to a random legal position.
+            let i = rng.gen_range(0..n);
+            let block = &fp.blocks()[i];
+            let x = rng.gen_range(0.0..(die_w - block.width()).max(f64::EPSILON));
+            let y = rng.gen_range(0.0..(die_h - block.height()).max(f64::EPSILON));
+            *candidate.position_mut(i) = (x, y);
+        }
+        let candidate_cost = placement_cost(fp, net, &candidate, model, config);
+        let delta = candidate_cost - current_cost;
+        if delta <= 0.0 || rng.gen_bool((-delta / temperature).exp().clamp(0.0, 1.0)) {
+            current = candidate;
+            current_cost = candidate_cost;
+            accepted += 1;
+            if current_cost < best_cost {
+                best = current.clone();
+                best_cost = current_cost;
+            }
+        }
+        temperature = (temperature * config.cooling).max(1e-6);
+    }
+
+    AnnealResult {
+        wire_length: fp.total_wire_length(net, &best),
+        predicted_throughput: fp.predicted_throughput(net, &best, model),
+        placement: best,
+        cost: best_cost,
+        accepted_moves: accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_block_loop() -> Netlist {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        net.add_edge("ab", a, b);
+        net.add_edge("ba", b, a);
+        net
+    }
+
+    fn two_block_floorplan() -> Floorplan {
+        let mut fp = Floorplan::new(20.0, 20.0);
+        fp.add_block(Block::new("A", 2.0, 2.0));
+        fp.add_block(Block::new("B", 2.0, 2.0));
+        fp
+    }
+
+    #[test]
+    fn block_geometry() {
+        let b = Block::new("X", 3.0, 2.0);
+        assert_eq!(b.area(), 6.0);
+        assert_eq!(b.name(), "X");
+    }
+
+    #[test]
+    fn wire_model_budgets_relay_stations() {
+        let model = WireModel::nm130(1.0);
+        assert_eq!(model.relay_stations(1.0), 0); // 0.25 ns
+        assert_eq!(model.relay_stations(4.0), 0); // 1.0 ns fits
+        assert_eq!(model.relay_stations(5.0), 1); // 1.25 ns -> 1 RS
+        assert_eq!(model.relay_stations(12.0), 2); // 3 ns -> 2 RS
+        assert!((model.delay(4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_placement_covers_all_blocks_without_overlap() {
+        let fp = two_block_floorplan();
+        let p = fp.initial_placement();
+        assert_eq!(p.len(), 2);
+        assert!(!fp.has_overlap(&p));
+    }
+
+    #[test]
+    fn wire_length_is_manhattan_between_centres() {
+        let fp = two_block_floorplan();
+        let p = Placement::new(vec![(0.0, 0.0), (10.0, 0.0)]);
+        assert!((fp.wire_length(&p, 0, 1) - 10.0).abs() < 1e-9);
+        let net = two_block_loop();
+        assert!((fp.total_wire_length(&net, &p) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_apart_blocks_need_relay_stations_and_lose_throughput() {
+        let fp = two_block_floorplan();
+        let net = two_block_loop();
+        let model = WireModel::nm130(1.0);
+        let near = Placement::new(vec![(0.0, 0.0), (3.0, 0.0)]);
+        let far = Placement::new(vec![(0.0, 0.0), (16.0, 0.0)]);
+        assert_eq!(fp.relay_station_budget(&net, &near, &model), vec![0, 0]);
+        let far_budget = fp.relay_station_budget(&net, &far, &model);
+        assert!(far_budget.iter().all(|&n| n >= 3));
+        assert_eq!(fp.predicted_throughput(&net, &near, &model), 1.0);
+        assert!(fp.predicted_throughput(&net, &far, &model) < 0.3);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let fp = two_block_floorplan();
+        let overlapping = Placement::new(vec![(0.0, 0.0), (1.0, 1.0)]);
+        let separated = Placement::new(vec![(0.0, 0.0), (5.0, 5.0)]);
+        assert!(fp.has_overlap(&overlapping));
+        assert!(!fp.has_overlap(&separated));
+    }
+
+    #[test]
+    fn annealing_improves_or_matches_the_initial_cost() {
+        let fp = two_block_floorplan();
+        let net = two_block_loop();
+        let model = WireModel::nm130(1.0);
+        let config = AnnealConfig {
+            iterations: 500,
+            ..AnnealConfig::default()
+        };
+        let initial_cost = placement_cost(&fp, &net, &fp.initial_placement(), &model, &config);
+        let result = anneal(&fp, &net, &model, &config);
+        assert!(result.cost <= initial_cost + 1e-9);
+        assert!(!fp.has_overlap(&result.placement));
+        assert!(result.predicted_throughput >= 0.5);
+        assert!(result.accepted_moves > 0);
+    }
+
+    #[test]
+    fn annealing_is_deterministic_for_a_seed() {
+        let fp = two_block_floorplan();
+        let net = two_block_loop();
+        let model = WireModel::nm130(1.0);
+        let config = AnnealConfig {
+            iterations: 200,
+            ..AnnealConfig::default()
+        };
+        let a = anneal(&fp, &net, &model, &config);
+        let b = anneal(&fp, &net, &model, &config);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn empty_floorplan_anneals_trivially() {
+        let fp = Floorplan::new(5.0, 5.0);
+        let net = Netlist::new();
+        let result = anneal(&fp, &net, &WireModel::nm130(1.0), &AnnealConfig::default());
+        assert!(result.placement.is_empty());
+        assert_eq!(result.predicted_throughput, 1.0);
+    }
+}

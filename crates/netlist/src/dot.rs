@@ -1,0 +1,111 @@
+//! Graphviz (DOT) export of netlists.
+//!
+//! Used to regenerate Figure 1 of the paper (the case-study netlist and its
+//! loops) and to inspect synthetic netlists.
+
+use std::fmt::Write as _;
+
+use crate::graph::Netlist;
+use crate::throughput::ThroughputAnalysis;
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// Each edge label shows the channel name and, when non-zero, the number of
+/// relay stations in square brackets.
+///
+/// # Examples
+///
+/// ```
+/// use wp_netlist::{to_dot, Netlist};
+///
+/// let mut net = Netlist::new();
+/// let a = net.add_node("CU");
+/// let b = net.add_node("IC");
+/// net.add_edge("fetch_addr", a, b);
+/// let dot = to_dot(&net, "figure1");
+/// assert!(dot.contains("digraph figure1"));
+/// assert!(dot.contains("\"CU\" -> \"IC\""));
+/// ```
+pub fn to_dot(net: &Netlist, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {graph_name} {{");
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [shape=box, fontname=\"Helvetica\"];");
+    for n in net.node_ids() {
+        let _ = writeln!(out, "    \"{}\";", net.node(n).name());
+    }
+    for e in net.edge_ids() {
+        let edge = net.edge(e);
+        let rs = edge.relay_stations();
+        let label = if rs > 0 {
+            format!("{} [{} RS]", edge.name(), rs)
+        } else {
+            edge.name().to_string()
+        };
+        let _ = writeln!(
+            out,
+            "    \"{}\" -> \"{}\" [label=\"{}\"];",
+            net.node(edge.src()).name(),
+            net.node(edge.dst()).name(),
+            label
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a plain-text loop inventory (one line per loop with `m`, `n` and
+/// the predicted throughput), suitable for the Figure 1 companion table.
+pub fn loop_inventory(net: &Netlist, analysis: &ThroughputAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<50} {:>3} {:>3} {:>8}",
+        "loop", "m", "n", "Th"
+    );
+    for info in analysis.loops() {
+        let _ = writeln!(
+            out,
+            "{:<50} {:>3} {:>3} {:>8.3}",
+            info.cycle.describe(net),
+            info.processes,
+            info.relay_stations,
+            info.throughput
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::analyze_loops;
+
+    #[test]
+    fn dot_output_contains_all_elements() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let e = net.add_edge("data", a, b);
+        net.add_edge("back", b, a);
+        net.set_relay_stations(e, 2);
+        let dot = to_dot(&net, "g");
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("\"A\" -> \"B\" [label=\"data [2 RS]\"]"));
+        assert!(dot.contains("\"B\" -> \"A\" [label=\"back\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn loop_inventory_lists_every_loop() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        net.add_edge("ab", a, b);
+        net.add_edge("ba", b, a);
+        let analysis = analyze_loops(&net, 100);
+        let table = loop_inventory(&net, &analysis);
+        assert!(table.contains("A -> B -> A"));
+        assert!(table.contains("1.000"));
+    }
+}

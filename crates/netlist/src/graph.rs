@@ -1,0 +1,353 @@
+//! The netlist graph: processes (nodes) connected by channels (edges).
+//!
+//! Each edge carries the number of relay stations inserted on the
+//! corresponding wire, which is the only physical-design quantity the
+//! throughput analysis needs.  Parallel edges between the same pair of nodes
+//! are allowed (a link between two blocks usually bundles several wires).
+
+use std::fmt;
+
+/// Identifier of a node (process / IP block) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The underlying index (stable for the lifetime of the netlist).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an edge (channel) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) usize);
+
+impl EdgeId {
+    /// The underlying index (stable for the lifetime of the netlist).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A node of the netlist: one process / IP block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    name: String,
+}
+
+impl Node {
+    /// The block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// An edge of the netlist: one point-to-point channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    name: String,
+    src: NodeId,
+    dst: NodeId,
+    relay_stations: usize,
+}
+
+impl Edge {
+    /// The channel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producer node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The consumer node.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Number of relay stations currently assigned to this channel.
+    pub fn relay_stations(&self) -> usize {
+        self.relay_stations
+    }
+}
+
+/// A directed multigraph of processes and channels.
+///
+/// # Examples
+///
+/// ```
+/// use wp_netlist::Netlist;
+///
+/// let mut net = Netlist::new();
+/// let a = net.add_node("A");
+/// let b = net.add_node("B");
+/// let ab = net.add_edge("a_to_b", a, b);
+/// net.add_edge("b_to_a", b, a);
+/// net.set_relay_stations(ab, 2);
+/// assert_eq!(net.node_count(), 2);
+/// assert_eq!(net.edge(ab).relay_stations(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Netlist {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block and returns its identifier.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { name: name.into() });
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds a channel from `src` to `dst` with zero relay stations and
+    /// returns its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not belong to this netlist.
+    pub fn add_edge(&mut self, name: impl Into<String>, src: NodeId, dst: NodeId) -> EdgeId {
+        assert!(src.0 < self.nodes.len(), "unknown source node {src}");
+        assert!(dst.0 < self.nodes.len(), "unknown destination node {dst}");
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            name: name.into(),
+            src,
+            dst,
+            relay_stations: 0,
+        });
+        self.out_edges[src.0].push(id);
+        self.in_edges[dst.0].push(id);
+        id
+    }
+
+    /// Number of blocks.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of channels.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of relay stations currently assigned.
+    pub fn total_relay_stations(&self) -> usize {
+        self.edges.iter().map(Edge::relay_stations).sum()
+    }
+
+    /// Borrows a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this netlist.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Borrows a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this netlist.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Iterates over all block identifiers.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates over all channel identifiers.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Channels leaving `node`.
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.out_edges[node.0]
+    }
+
+    /// Channels entering `node`.
+    pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.in_edges[node.0]
+    }
+
+    /// Finds a block by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId)
+    }
+
+    /// Finds a channel by name.
+    pub fn find_edge(&self, name: &str) -> Option<EdgeId> {
+        self.edges
+            .iter()
+            .position(|e| e.name == name)
+            .map(EdgeId)
+    }
+
+    /// All channels from `src` to `dst` (parallel edges included).
+    pub fn edges_between(&self, src: NodeId, dst: NodeId) -> Vec<EdgeId> {
+        self.out_edges[src.0]
+            .iter()
+            .copied()
+            .filter(|e| self.edges[e.0].dst == dst)
+            .collect()
+    }
+
+    /// Sets the number of relay stations on a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this netlist.
+    pub fn set_relay_stations(&mut self, edge: EdgeId, n: usize) {
+        self.edges[edge.0].relay_stations = n;
+    }
+
+    /// Adds `n` relay stations to a channel.
+    pub fn add_relay_stations(&mut self, edge: EdgeId, n: usize) {
+        self.edges[edge.0].relay_stations += n;
+    }
+
+    /// Sets the same number of relay stations on every channel.
+    pub fn set_all_relay_stations(&mut self, n: usize) {
+        for e in &mut self.edges {
+            e.relay_stations = n;
+        }
+    }
+
+    /// Removes every relay station (the "ideal" configuration of the paper).
+    pub fn clear_relay_stations(&mut self) {
+        self.set_all_relay_stations(0);
+    }
+
+    /// The relay-station assignment as a vector indexed by edge.
+    pub fn relay_station_assignment(&self) -> Vec<usize> {
+        self.edges.iter().map(Edge::relay_stations).collect()
+    }
+
+    /// Applies a relay-station assignment produced by
+    /// [`Netlist::relay_station_assignment`] or by the optimiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length differs from the edge count.
+    pub fn apply_relay_station_assignment(&mut self, assignment: &[usize]) {
+        assert_eq!(
+            assignment.len(),
+            self.edges.len(),
+            "assignment length must equal the edge count"
+        );
+        for (e, n) in self.edges.iter_mut().zip(assignment) {
+            e.relay_stations = *n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Netlist, [NodeId; 4]) {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let c = net.add_node("C");
+        let d = net.add_node("D");
+        net.add_edge("ab", a, b);
+        net.add_edge("ac", a, c);
+        net.add_edge("bd", b, d);
+        net.add_edge("cd", c, d);
+        (net, [a, b, c, d])
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let (net, [a, b, _, d]) = diamond();
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.edge_count(), 4);
+        assert_eq!(net.node(a).name(), "A");
+        assert_eq!(net.find_node("D"), Some(d));
+        assert_eq!(net.find_node("Z"), None);
+        let ab = net.find_edge("ab").unwrap();
+        assert_eq!(net.edge(ab).src(), a);
+        assert_eq!(net.edge(ab).dst(), b);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (net, [a, b, _, d]) = diamond();
+        assert_eq!(net.out_edges(a).len(), 2);
+        assert_eq!(net.in_edges(a).len(), 0);
+        assert_eq!(net.in_edges(d).len(), 2);
+        assert_eq!(net.edges_between(a, b).len(), 1);
+        assert_eq!(net.edges_between(b, a).len(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_are_supported() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        net.add_edge("w0", a, b);
+        net.add_edge("w1", a, b);
+        assert_eq!(net.edges_between(a, b).len(), 2);
+    }
+
+    #[test]
+    fn relay_station_assignment_roundtrip() {
+        let (mut net, _) = diamond();
+        let ab = net.find_edge("ab").unwrap();
+        net.set_relay_stations(ab, 3);
+        net.add_relay_stations(ab, 1);
+        assert_eq!(net.edge(ab).relay_stations(), 4);
+        assert_eq!(net.total_relay_stations(), 4);
+
+        let saved = net.relay_station_assignment();
+        net.set_all_relay_stations(1);
+        assert_eq!(net.total_relay_stations(), 4);
+        net.apply_relay_station_assignment(&saved);
+        assert_eq!(net.edge(ab).relay_stations(), 4);
+        net.clear_relay_stations();
+        assert_eq!(net.total_relay_stations(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn adding_edge_with_foreign_node_panics() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let mut other = Netlist::new();
+        other.add_node("X");
+        let ghost = NodeId(5);
+        net.add_edge("bad", a, ghost);
+    }
+}

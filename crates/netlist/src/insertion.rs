@@ -1,0 +1,338 @@
+//! Relay-station insertion and placement optimisation.
+//!
+//! Wire pipelining imposes a *minimum* number of relay stations on each
+//! channel (derived from the physical wire delay, see `wp-floorplan`), but
+//! above that minimum the designer is free to place additional stations or to
+//! re-balance them.  Because only the stations sitting on loops cost
+//! throughput, the placement matters: the "Optimal" rows of the paper's
+//! Table 1 correspond to placements that respect the same total budget as the
+//! uniform ("All k") configurations while maximising the predicted
+//! throughput.
+//!
+//! This module provides:
+//!
+//! * uniform and per-link assignment helpers used to build the Table 1
+//!   configurations;
+//! * [`optimize_assignment`], a branch-and-bound search over assignments with
+//!   a given total budget and per-edge minimums, maximising the worst-loop
+//!   throughput predicted by the law;
+//! * [`relay_stations_for_delay`], the wire-delay → station-count budgeting
+//!   rule.
+
+use crate::graph::{EdgeId, Netlist};
+use crate::throughput::{analyze_loops, DEFAULT_MAX_LOOPS};
+
+/// Number of relay stations required on a wire whose propagation delay is
+/// `wire_delay` when the clock period is `clock_period` (same unit).
+///
+/// A wire whose delay fits in one clock period needs no station; beyond that,
+/// each additional period requires one more pipeline stage.
+///
+/// # Examples
+///
+/// ```
+/// use wp_netlist::relay_stations_for_delay;
+/// assert_eq!(relay_stations_for_delay(0.4, 1.0), 0);
+/// assert_eq!(relay_stations_for_delay(1.0, 1.0), 0);
+/// assert_eq!(relay_stations_for_delay(1.7, 1.0), 1);
+/// assert_eq!(relay_stations_for_delay(3.2, 1.0), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `clock_period` is not strictly positive.
+pub fn relay_stations_for_delay(wire_delay: f64, clock_period: f64) -> usize {
+    assert!(clock_period > 0.0, "clock period must be positive");
+    if wire_delay <= clock_period {
+        0
+    } else {
+        (wire_delay / clock_period).ceil() as usize - 1
+    }
+}
+
+/// Sets `n` relay stations on every edge except those listed in `exclude`
+/// (which are set to zero).  This builds the paper's "All n (no CU-IC)"
+/// configurations.
+pub fn assign_uniform(net: &mut Netlist, n: usize, exclude: &[EdgeId]) {
+    for e in net.edge_ids().collect::<Vec<_>>() {
+        let value = if exclude.contains(&e) { 0 } else { n };
+        net.set_relay_stations(e, value);
+    }
+}
+
+/// Sets relay stations on a single group of edges (a "link" of the paper,
+/// which may bundle several wires) and zero everywhere else.  This builds the
+/// "Only X-Y" configurations of Table 1.
+pub fn assign_single_link(net: &mut Netlist, link: &[EdgeId], n: usize) {
+    net.clear_relay_stations();
+    for &e in link {
+        net.set_relay_stations(e, n);
+    }
+}
+
+/// Result of a placement optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizedAssignment {
+    /// Relay stations per edge (indexed like `Netlist::edge_ids`).
+    pub assignment: Vec<usize>,
+    /// Worst-loop throughput predicted by the law for this assignment.
+    pub predicted_throughput: f64,
+}
+
+/// Searches for the relay-station assignment that maximises the predicted
+/// (worst-loop) throughput, subject to:
+///
+/// * every edge `e` receives at least `minimum[e]` stations;
+/// * the total number of stations equals `budget`;
+/// * only edges in `candidates` may receive stations above their minimum;
+/// * no edge receives more than `max_per_edge` stations.
+///
+/// The search is exact (branch and bound over the candidate edges, best-first
+/// on the loop law) for the problem sizes of this paper (tens of edges,
+/// budgets of a few tens); the cost of evaluating one assignment is one loop
+/// analysis.
+///
+/// Returns `None` when the constraints are infeasible (e.g. the minimums
+/// already exceed the budget).
+///
+/// # Panics
+///
+/// Panics if `minimum.len()` differs from the edge count of `net`.
+pub fn optimize_assignment(
+    net: &Netlist,
+    budget: usize,
+    minimum: &[usize],
+    candidates: &[EdgeId],
+    max_per_edge: usize,
+) -> Option<OptimizedAssignment> {
+    assert_eq!(
+        minimum.len(),
+        net.edge_count(),
+        "minimum vector must cover every edge"
+    );
+    let base: usize = minimum.iter().sum();
+    if base > budget {
+        return None;
+    }
+    let extra = budget - base;
+
+    let mut scratch = net.clone();
+    let mut best: Option<OptimizedAssignment> = None;
+    let mut assignment: Vec<usize> = minimum.to_vec();
+
+    // Depth-first over candidate edges, distributing the remaining budget.
+    fn recurse(
+        scratch: &mut Netlist,
+        candidates: &[EdgeId],
+        idx: usize,
+        remaining: usize,
+        max_per_edge: usize,
+        minimum: &[usize],
+        assignment: &mut Vec<usize>,
+        best: &mut Option<OptimizedAssignment>,
+    ) {
+        if idx == candidates.len() {
+            if remaining != 0 {
+                return;
+            }
+            scratch.apply_relay_station_assignment(assignment);
+            let th = analyze_loops(scratch, DEFAULT_MAX_LOOPS).system_throughput();
+            let better = match best {
+                None => true,
+                Some(b) => th > b.predicted_throughput,
+            };
+            if better {
+                *best = Some(OptimizedAssignment {
+                    assignment: assignment.clone(),
+                    predicted_throughput: th,
+                });
+            }
+            return;
+        }
+        let edge = candidates[idx];
+        let base = minimum[edge.index()];
+        let headroom = max_per_edge.saturating_sub(base).min(remaining);
+        // If this is the last candidate the remaining budget must fit here.
+        for add in 0..=headroom {
+            assignment[edge.index()] = base + add;
+            recurse(
+                scratch,
+                candidates,
+                idx + 1,
+                remaining - add,
+                max_per_edge,
+                minimum,
+                assignment,
+                best,
+            );
+        }
+        assignment[edge.index()] = base;
+    }
+
+    recurse(
+        &mut scratch,
+        candidates,
+        0,
+        extra,
+        max_per_edge,
+        minimum,
+        &mut assignment,
+        &mut best,
+    );
+
+    // If there are no candidates the base assignment must already match the
+    // budget exactly.
+    if candidates.is_empty() && extra == 0 && best.is_none() {
+        let mut scratch = net.clone();
+        scratch.apply_relay_station_assignment(&assignment);
+        let th = analyze_loops(&scratch, DEFAULT_MAX_LOOPS).system_throughput();
+        best = Some(OptimizedAssignment {
+            assignment,
+            predicted_throughput: th,
+        });
+    }
+    best
+}
+
+/// Greedy variant of [`optimize_assignment`] for larger instances: stations
+/// above the minimum are added one at a time on the edge that currently
+/// degrades the predicted throughput the least.
+pub fn optimize_assignment_greedy(
+    net: &Netlist,
+    budget: usize,
+    minimum: &[usize],
+    candidates: &[EdgeId],
+) -> Option<OptimizedAssignment> {
+    assert_eq!(minimum.len(), net.edge_count());
+    let base: usize = minimum.iter().sum();
+    if base > budget || (candidates.is_empty() && base != budget) {
+        return None;
+    }
+    let mut assignment = minimum.to_vec();
+    let mut scratch = net.clone();
+    for _ in 0..(budget - base) {
+        let mut best_edge = None;
+        let mut best_th = -1.0f64;
+        for &e in candidates {
+            assignment[e.index()] += 1;
+            scratch.apply_relay_station_assignment(&assignment);
+            let th = analyze_loops(&scratch, DEFAULT_MAX_LOOPS).system_throughput();
+            if th > best_th {
+                best_th = th;
+                best_edge = Some(e);
+            }
+            assignment[e.index()] -= 1;
+        }
+        let chosen = best_edge?;
+        assignment[chosen.index()] += 1;
+    }
+    scratch.apply_relay_station_assignment(&assignment);
+    let predicted = analyze_loops(&scratch, DEFAULT_MAX_LOOPS).system_throughput();
+    Some(OptimizedAssignment {
+        assignment,
+        predicted_throughput: predicted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A netlist with one 2-node loop (A<->B) and one acyclic edge (A->C).
+    fn loop_plus_tail() -> (Netlist, [EdgeId; 3]) {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let c = net.add_node("C");
+        let ab = net.add_edge("ab", a, b);
+        let ba = net.add_edge("ba", b, a);
+        let ac = net.add_edge("ac", a, c);
+        (net, [ab, ba, ac])
+    }
+
+    #[test]
+    fn delay_budgeting_rule() {
+        assert_eq!(relay_stations_for_delay(0.0, 1.0), 0);
+        assert_eq!(relay_stations_for_delay(0.99, 1.0), 0);
+        assert_eq!(relay_stations_for_delay(1.01, 1.0), 1);
+        assert_eq!(relay_stations_for_delay(2.0, 1.0), 1);
+        assert_eq!(relay_stations_for_delay(5.0, 2.0), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_clock_period_panics() {
+        relay_stations_for_delay(1.0, 0.0);
+    }
+
+    #[test]
+    fn uniform_assignment_respects_exclusions() {
+        let (mut net, [ab, ba, ac]) = loop_plus_tail();
+        assign_uniform(&mut net, 2, &[ba]);
+        assert_eq!(net.edge(ab).relay_stations(), 2);
+        assert_eq!(net.edge(ba).relay_stations(), 0);
+        assert_eq!(net.edge(ac).relay_stations(), 2);
+    }
+
+    #[test]
+    fn single_link_assignment_clears_others() {
+        let (mut net, [ab, ba, ac]) = loop_plus_tail();
+        net.set_all_relay_stations(3);
+        assign_single_link(&mut net, &[ba], 1);
+        assert_eq!(net.edge(ab).relay_stations(), 0);
+        assert_eq!(net.edge(ba).relay_stations(), 1);
+        assert_eq!(net.edge(ac).relay_stations(), 0);
+    }
+
+    #[test]
+    fn optimizer_prefers_acyclic_edges() {
+        // Budget of 2 stations, no minimums: both should land on the acyclic
+        // edge A->C, keeping the loop free and the throughput at 1.0.
+        let (net, [ab, ba, ac]) = loop_plus_tail();
+        let minimum = vec![0, 0, 0];
+        let result = optimize_assignment(&net, 2, &minimum, &[ab, ba, ac], 4).unwrap();
+        assert_eq!(result.assignment[ac.index()], 2);
+        assert_eq!(result.assignment[ab.index()], 0);
+        assert_eq!(result.assignment[ba.index()], 0);
+        assert_eq!(result.predicted_throughput, 1.0);
+    }
+
+    #[test]
+    fn optimizer_honours_minimums_and_budget() {
+        let (net, [ab, ba, ac]) = loop_plus_tail();
+        // ab must carry at least 1 station; budget 3.
+        let minimum = vec![1, 0, 0];
+        let result = optimize_assignment(&net, 3, &minimum, &[ab, ba, ac], 4).unwrap();
+        assert_eq!(result.assignment.iter().sum::<usize>(), 3);
+        assert!(result.assignment[ab.index()] >= 1);
+        // Best achievable: keep the remaining 2 off the loop.
+        assert!((result.predicted_throughput - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(result.assignment[ac.index()], 2);
+    }
+
+    #[test]
+    fn optimizer_reports_infeasible() {
+        let (net, [ab, _, _]) = loop_plus_tail();
+        let minimum = vec![5, 0, 0];
+        assert!(optimize_assignment(&net, 3, &minimum, &[ab], 6).is_none());
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_small_case() {
+        let (net, [ab, ba, ac]) = loop_plus_tail();
+        let minimum = vec![0, 0, 0];
+        let exact = optimize_assignment(&net, 2, &minimum, &[ab, ba, ac], 4).unwrap();
+        let greedy = optimize_assignment_greedy(&net, 2, &minimum, &[ab, ba, ac]).unwrap();
+        assert_eq!(exact.predicted_throughput, greedy.predicted_throughput);
+        assert_eq!(greedy.assignment.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn exact_budget_with_no_candidates() {
+        let (net, _) = loop_plus_tail();
+        let minimum = vec![1, 1, 0];
+        let result = optimize_assignment(&net, 2, &minimum, &[], 4).unwrap();
+        assert_eq!(result.assignment, vec![1, 1, 0]);
+        assert!((result.predicted_throughput - 0.5).abs() < 1e-12);
+    }
+}

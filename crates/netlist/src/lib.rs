@@ -1,0 +1,50 @@
+//! # wp-netlist — netlist graph analysis for wire-pipelined systems
+//!
+//! This crate is the graph substrate of the DATE'05 wire-pipelining
+//! reproduction: it represents a system as a directed multigraph of processes
+//! (IP blocks) and channels, enumerates the netlist loops that limit the
+//! throughput of a latency-insensitive implementation, applies the paper's
+//! loop throughput law `Th = m / (m + n)` and searches relay-station
+//! placements.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use wp_netlist::{analyze_loops, Netlist};
+//!
+//! // A two-block loop with one relay station on one direction.
+//! let mut net = Netlist::new();
+//! let cu = net.add_node("CU");
+//! let alu = net.add_node("ALU");
+//! let fwd = net.add_edge("opcode", cu, alu);
+//! net.add_edge("flags", alu, cu);
+//! net.set_relay_stations(fwd, 1);
+//!
+//! let analysis = analyze_loops(&net, 1000);
+//! // One loop with m = 2 processes and n = 1 relay station: Th = 2/3.
+//! assert_eq!(analysis.loops().len(), 1);
+//! assert!((analysis.system_throughput() - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cycles;
+mod dot;
+mod graph;
+mod insertion;
+mod scc;
+mod throughput;
+
+pub use cycles::{simple_cycles, Cycle};
+pub use dot::{loop_inventory, to_dot};
+pub use graph::{Edge, EdgeId, Netlist, Node, NodeId};
+pub use insertion::{
+    assign_single_link, assign_uniform, optimize_assignment, optimize_assignment_greedy,
+    relay_stations_for_delay, OptimizedAssignment,
+};
+pub use scc::{cyclic_components, strongly_connected_components};
+pub use throughput::{
+    analyze_loops, loop_throughput, predicted_throughput, LoopInfo, ThroughputAnalysis,
+    DEFAULT_MAX_LOOPS,
+};

@@ -1,0 +1,196 @@
+//! Strongly connected components (Tarjan's algorithm).
+//!
+//! The throughput of a latency-insensitive system is limited only by its
+//! feedback loops; nodes that do not belong to a non-trivial strongly
+//! connected component can absorb any number of relay stations without
+//! throughput loss.  The SCC decomposition is also used to bound the cycle
+//! enumeration of [`crate::cycles`].
+
+use crate::graph::{Netlist, NodeId};
+
+/// The strongly connected components of a netlist, each a list of nodes.
+///
+/// Components are returned in reverse topological order (Tarjan's natural
+/// output order); the order of nodes inside a component is unspecified.
+pub fn strongly_connected_components(net: &Netlist) -> Vec<Vec<NodeId>> {
+    Tarjan::new(net).run()
+}
+
+/// Returns the components that contain at least one cycle: components with
+/// more than one node, or single nodes with a self-loop.
+pub fn cyclic_components(net: &Netlist) -> Vec<Vec<NodeId>> {
+    strongly_connected_components(net)
+        .into_iter()
+        .filter(|comp| {
+            comp.len() > 1
+                || comp.iter().any(|&n| {
+                    net.out_edges(n)
+                        .iter()
+                        .any(|&e| net.edge(e).dst() == n)
+                })
+        })
+        .collect()
+}
+
+struct Tarjan<'a> {
+    net: &'a Netlist,
+    index: Vec<Option<usize>>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: usize,
+    components: Vec<Vec<NodeId>>,
+}
+
+impl<'a> Tarjan<'a> {
+    fn new(net: &'a Netlist) -> Self {
+        let n = net.node_count();
+        Self {
+            net,
+            index: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Vec<NodeId>> {
+        for v in 0..self.net.node_count() {
+            if self.index[v].is_none() {
+                self.strong_connect(v);
+            }
+        }
+        self.components
+    }
+
+    /// Iterative Tarjan (explicit stack) to stay robust on deep graphs.
+    fn strong_connect(&mut self, root: usize) {
+        // Each frame is (node, iterator position over its out-edges).
+        let mut call_stack: Vec<(usize, usize)> = vec![(root, 0)];
+        self.visit(root);
+
+        while let Some(&(v, edge_pos)) = call_stack.last() {
+            let out = self.net.out_edges(NodeId(v));
+            if edge_pos < out.len() {
+                let edge = out[edge_pos];
+                call_stack.last_mut().expect("frame just observed").1 += 1;
+                let w = self.net.edge(edge).dst().0;
+                match self.index[w] {
+                    None => {
+                        self.visit(w);
+                        call_stack.push((w, 0));
+                    }
+                    Some(w_index) => {
+                        if self.on_stack[w] {
+                            self.lowlink[v] = self.lowlink[v].min(w_index);
+                        }
+                    }
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    self.lowlink[parent] = self.lowlink[parent].min(self.lowlink[v]);
+                }
+                if Some(self.lowlink[v]) == self.index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = self.stack.pop().expect("tarjan stack underflow");
+                        self.on_stack[w] = false;
+                        component.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    self.components.push(component);
+                }
+            }
+        }
+    }
+
+    fn visit(&mut self, v: usize) {
+        self.index[v] = Some(self.next_index);
+        self.lowlink[v] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack[v] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut comps: Vec<Vec<NodeId>>) -> Vec<Vec<usize>> {
+        let mut result: Vec<Vec<usize>> = comps
+            .iter_mut()
+            .map(|c| {
+                let mut v: Vec<usize> = c.iter().map(|n| n.index()).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        result.sort();
+        result
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let c = net.add_node("C");
+        net.add_edge("ab", a, b);
+        net.add_edge("bc", b, c);
+        let comps = strongly_connected_components(&net);
+        assert_eq!(comps.len(), 3);
+        assert!(cyclic_components(&net).is_empty());
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let c = net.add_node("C");
+        net.add_edge("ab", a, b);
+        net.add_edge("bc", b, c);
+        net.add_edge("ca", c, a);
+        assert_eq!(sorted(strongly_connected_components(&net)), vec![vec![0, 1, 2]]);
+        assert_eq!(cyclic_components(&net).len(), 1);
+    }
+
+    #[test]
+    fn mixed_graph_components() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let c = net.add_node("C");
+        let d = net.add_node("D");
+        // a <-> b form a component; c -> d is acyclic.
+        net.add_edge("ab", a, b);
+        net.add_edge("ba", b, a);
+        net.add_edge("bc", b, c);
+        net.add_edge("cd", c, d);
+        assert_eq!(
+            sorted(strongly_connected_components(&net)),
+            vec![vec![0, 1], vec![2], vec![3]]
+        );
+        assert_eq!(sorted(cyclic_components(&net)), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        net.add_edge("aa", a, a);
+        assert_eq!(cyclic_components(&net).len(), 1);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let net = Netlist::new();
+        assert!(strongly_connected_components(&net).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! The loop throughput law and the worst-loop analysis.
+//!
+//! For shells without oracles (WP1) the paper states that a loop containing
+//! `m` processes and `n` pipeline delays sustains a throughput
+//! `Th = m / (m + n)` and that the worst loop dominates the system
+//! throughput.  These are upper bounds under the oracle policy (WP2), which
+//! can do better whenever a loop is not exercised by every computation.
+
+use crate::cycles::{simple_cycles, Cycle};
+use crate::graph::{EdgeId, Netlist, NodeId};
+
+/// Default cap on the number of enumerated loops.
+pub const DEFAULT_MAX_LOOPS: usize = 100_000;
+
+/// Throughput of a single loop with `m` processes and `n` relay stations
+/// under strict (WP1) synchronisation.
+///
+/// # Examples
+///
+/// ```
+/// use wp_netlist::loop_throughput;
+/// assert_eq!(loop_throughput(2, 1), 2.0 / 3.0);
+/// assert_eq!(loop_throughput(3, 0), 1.0);
+/// ```
+pub fn loop_throughput(m: usize, n: usize) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    m as f64 / (m + n) as f64
+}
+
+/// One analysed loop: the cycle plus the quantities of the law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInfo {
+    /// The underlying cycle.
+    pub cycle: Cycle,
+    /// Number of processes `m`.
+    pub processes: usize,
+    /// Number of relay stations `n` along the loop.
+    pub relay_stations: usize,
+    /// `m / (m + n)`.
+    pub throughput: f64,
+}
+
+/// The complete loop analysis of a netlist under a given relay-station
+/// assignment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ThroughputAnalysis {
+    loops: Vec<LoopInfo>,
+}
+
+impl ThroughputAnalysis {
+    /// The analysed loops, in enumeration order.
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// The loop with the lowest throughput, if any loop exists.
+    pub fn worst_loop(&self) -> Option<&LoopInfo> {
+        self.loops
+            .iter()
+            .min_by(|a, b| a.throughput.total_cmp(&b.throughput))
+    }
+
+    /// The system throughput predicted by the law: the minimum loop
+    /// throughput, or 1.0 for an acyclic netlist.
+    pub fn system_throughput(&self) -> f64 {
+        self.worst_loop().map_or(1.0, |l| l.throughput)
+    }
+
+    /// Loops traversing the given edge.
+    pub fn loops_through_edge(&self, edge: EdgeId) -> Vec<&LoopInfo> {
+        self.loops
+            .iter()
+            .filter(|l| l.cycle.contains_edge(edge))
+            .collect()
+    }
+
+    /// Loops traversing the given node.
+    pub fn loops_through_node(&self, node: NodeId) -> Vec<&LoopInfo> {
+        self.loops
+            .iter()
+            .filter(|l| l.cycle.contains_node(node))
+            .collect()
+    }
+}
+
+/// Enumerates the loops of `net` (up to `max_loops`) and applies the
+/// throughput law to each under the current relay-station assignment.
+pub fn analyze_loops(net: &Netlist, max_loops: usize) -> ThroughputAnalysis {
+    let loops = simple_cycles(net, max_loops)
+        .into_iter()
+        .map(|cycle| {
+            let processes = cycle.process_count();
+            let relay_stations = cycle.relay_station_count(net);
+            LoopInfo {
+                processes,
+                relay_stations,
+                throughput: loop_throughput(processes, relay_stations),
+                cycle,
+            }
+        })
+        .collect();
+    ThroughputAnalysis { loops }
+}
+
+/// Convenience wrapper: the system throughput predicted by the law for the
+/// current relay-station assignment of `net`.
+pub fn predicted_throughput(net: &Netlist) -> f64 {
+    analyze_loops(net, DEFAULT_MAX_LOOPS).system_throughput()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Netlist {
+        let mut net = Netlist::new();
+        let nodes: Vec<_> = (0..n).map(|i| net.add_node(format!("P{i}"))).collect();
+        for i in 0..n {
+            net.add_edge(format!("e{i}"), nodes[i], nodes[(i + 1) % n]);
+        }
+        net
+    }
+
+    #[test]
+    fn law_matches_paper_examples() {
+        // The paper's single-link experiments: a 2-process loop with one RS
+        // gives 0.667, a 3-process loop with one RS gives 0.75.
+        assert!((loop_throughput(2, 1) - 0.667).abs() < 1e-3);
+        assert!((loop_throughput(3, 1) - 0.75).abs() < 1e-12);
+        assert!((loop_throughput(2, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(loop_throughput(4, 0), 1.0);
+        assert_eq!(loop_throughput(0, 5), 1.0);
+    }
+
+    #[test]
+    fn acyclic_netlist_has_unit_throughput() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let e = net.add_edge("ab", a, b);
+        net.set_relay_stations(e, 7);
+        let analysis = analyze_loops(&net, 100);
+        assert!(analysis.loops().is_empty());
+        assert_eq!(analysis.system_throughput(), 1.0);
+        assert!(analysis.worst_loop().is_none());
+    }
+
+    #[test]
+    fn ring_throughput_follows_law() {
+        for m in 1..6usize {
+            for n in 0..4usize {
+                let mut net = ring(m);
+                let first_edge = net.edge_ids().next().unwrap();
+                net.set_relay_stations(first_edge, n);
+                let analysis = analyze_loops(&net, 100);
+                assert_eq!(analysis.loops().len(), 1);
+                let expected = loop_throughput(m, n);
+                assert!((analysis.system_throughput() - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_loop_dominates() {
+        // Two loops sharing node A: A<->B (no RS) and A<->C (2 RS).
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let c = net.add_node("C");
+        net.add_edge("ab", a, b);
+        net.add_edge("ba", b, a);
+        let ac = net.add_edge("ac", a, c);
+        net.add_edge("ca", c, a);
+        net.set_relay_stations(ac, 2);
+        let analysis = analyze_loops(&net, 100);
+        assert_eq!(analysis.loops().len(), 2);
+        assert_eq!(analysis.system_throughput(), 0.5);
+        let worst = analysis.worst_loop().unwrap();
+        assert_eq!(worst.relay_stations, 2);
+        assert_eq!(analysis.loops_through_edge(ac).len(), 1);
+        assert_eq!(analysis.loops_through_node(a).len(), 2);
+        assert_eq!(predicted_throughput(&net), 0.5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the netlist graph algorithms and the loop law.
+
+use proptest::prelude::*;
+
+use wp_netlist::{
+    analyze_loops, loop_throughput, optimize_assignment, simple_cycles,
+    strongly_connected_components, Netlist, NodeId,
+};
+
+/// Builds a random directed graph from an edge list over `n` nodes.
+fn build_graph(n: usize, edges: &[(usize, usize)]) -> Netlist {
+    let mut net = Netlist::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| net.add_node(format!("n{i}"))).collect();
+    for (idx, &(a, b)) in edges.iter().enumerate() {
+        net.add_edge(format!("e{idx}"), nodes[a % n], nodes[b % n]);
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn loop_law_is_a_probability(m in 1usize..50, n in 0usize..50) {
+        let th = loop_throughput(m, n);
+        prop_assert!(th > 0.0 && th <= 1.0);
+        // Monotonicity: more stations never help, more processes never hurt.
+        prop_assert!(loop_throughput(m, n + 1) <= th);
+        prop_assert!(loop_throughput(m + 1, n) >= th);
+    }
+
+    #[test]
+    fn scc_is_a_partition_of_the_nodes(
+        n in 1usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10), 0..25),
+    ) {
+        let net = build_graph(n, &edges);
+        let comps = strongly_connected_components(&net);
+        let mut seen = vec![0usize; n];
+        for comp in &comps {
+            prop_assert!(!comp.is_empty());
+            for node in comp {
+                seen[node.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&count| count == 1), "every node in exactly one SCC");
+    }
+
+    #[test]
+    fn enumerated_cycles_are_simple_and_closed(
+        n in 1usize..7,
+        edges in prop::collection::vec((0usize..7, 0usize..7), 0..20),
+    ) {
+        let net = build_graph(n, &edges);
+        let cycles = simple_cycles(&net, 10_000);
+        for cycle in &cycles {
+            // No repeated node.
+            let mut nodes = cycle.nodes.clone();
+            nodes.sort();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), cycle.nodes.len());
+            // Every hop is an existing edge from node i to node i+1 (mod len).
+            prop_assert_eq!(cycle.edges.len(), cycle.nodes.len());
+            for (i, &edge) in cycle.edges.iter().enumerate() {
+                let src = cycle.nodes[i];
+                let dst = cycle.nodes[(i + 1) % cycle.nodes.len()];
+                prop_assert_eq!(net.edge(edge).src(), src);
+                prop_assert_eq!(net.edge(edge).dst(), dst);
+            }
+        }
+    }
+
+    #[test]
+    fn system_throughput_is_the_minimum_loop_throughput(
+        n in 1usize..6,
+        edges in prop::collection::vec((0usize..6, 0usize..6), 0..15),
+        stations in prop::collection::vec(0usize..4, 0..15),
+    ) {
+        let mut net = build_graph(n, &edges);
+        for (i, e) in net.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            net.set_relay_stations(e, stations.get(i).copied().unwrap_or(0));
+        }
+        let analysis = analyze_loops(&net, 10_000);
+        let expected = analysis
+            .loops()
+            .iter()
+            .map(|l| l.throughput)
+            .fold(1.0f64, f64::min);
+        prop_assert_eq!(analysis.system_throughput(), expected);
+        for l in analysis.loops() {
+            prop_assert_eq!(l.throughput, loop_throughput(l.processes, l.relay_stations));
+        }
+    }
+
+    #[test]
+    fn optimal_assignment_is_no_worse_than_uniform_spread(
+        budget in 1usize..5,
+    ) {
+        // Two nested loops sharing a node; candidates are all edges.
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let c = net.add_node("C");
+        net.add_edge("ab", a, b);
+        net.add_edge("ba", b, a);
+        net.add_edge("ac", a, c);
+        net.add_edge("ca", c, a);
+        let candidates: Vec<_> = net.edge_ids().collect();
+        let minimum = vec![0; net.edge_count()];
+        let best = optimize_assignment(&net, budget, &minimum, &candidates, budget)
+            .expect("feasible");
+        // Compare against an arbitrary uniform-ish reference: all budget on
+        // the first edge.
+        let mut reference = net.clone();
+        reference.set_relay_stations(candidates[0], budget);
+        let ref_th = analyze_loops(&reference, 1000).system_throughput();
+        prop_assert!(best.predicted_throughput >= ref_th - 1e-12);
+        prop_assert_eq!(best.assignment.iter().sum::<usize>(), budget);
+    }
+}

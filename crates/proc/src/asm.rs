@@ -1,0 +1,377 @@
+//! A small two-pass assembler for the minimal ISA.
+//!
+//! The benchmark programs of the paper (extraction sort and matrix multiply)
+//! are written in assembly text (see [`crate::programs`]); this module turns
+//! that text into instruction words for the instruction memory.
+//!
+//! Syntax:
+//!
+//! ```text
+//! ; comment
+//! label:  addi r1, r0, 5       ; immediate ALU operation
+//!         add  r2, r1, r1
+//!         lw   r3, r1, 0       ; r3 = mem[r1 + 0]
+//!         sw   r3, r1, 4       ; mem[r1 + 4] = r3
+//!         beq  r2, r3, label   ; branch to a label (or a numeric offset)
+//!         jmp  label
+//!         halt
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{AluOp, BranchKind, Instr, Reg};
+
+/// An error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line of the error.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Assembles a program text into a list of instructions.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pointing at the offending source line for syntax
+/// errors, unknown mnemonics, bad register names or undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// use wp_proc::assemble;
+///
+/// let program = assemble(
+///     "start: addi r1, r0, 3\n\
+///      loop:  addi r1, r1, -1\n\
+///             bne  r1, r0, loop\n\
+///             halt\n",
+/// )?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), wp_proc::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: collect labels and the raw statements.
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    for (line_no, raw_line) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        let mut text = raw_line;
+        if let Some(pos) = text.find(';') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("invalid label '{label}'"),
+                });
+            }
+            if labels
+                .insert(label.to_string(), statements.len() as u32)
+                .is_some()
+            {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("duplicate label '{label}'"),
+                });
+            }
+            text = text[colon + 1..].trim();
+        }
+        if !text.is_empty() {
+            statements.push((line_no, text.to_string()));
+        }
+    }
+
+    // Pass 2: translate statements.
+    let mut program = Vec::with_capacity(statements.len());
+    for (index, (line, text)) in statements.iter().enumerate() {
+        let instr = parse_statement(text, *line, index as u32, &labels)?;
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+fn parse_statement(
+    text: &str,
+    line: usize,
+    address: u32,
+    labels: &HashMap<String, u32>,
+) -> Result<Instr, AsmError> {
+    let err = |message: String| AsmError { line, message };
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let operands: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+
+    let reg = |s: &str| -> Result<Reg, AsmError> {
+        let s = s.trim();
+        let digits = s
+            .strip_prefix('r')
+            .or_else(|| s.strip_prefix('R'))
+            .ok_or_else(|| err(format!("expected a register, found '{s}'")))?;
+        let value: u8 = digits
+            .parse()
+            .map_err(|_| err(format!("bad register '{s}'")))?;
+        if usize::from(value) >= crate::isa::NUM_REGS {
+            return Err(err(format!("register '{s}' out of range")));
+        }
+        Ok(value)
+    };
+    let imm = |s: &str| -> Result<i32, AsmError> {
+        s.trim()
+            .parse::<i32>()
+            .map_err(|_| err(format!("bad immediate '{s}'")))
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "'{mnemonic}' expects {n} operands, found {}",
+                operands.len()
+            )))
+        }
+    };
+    // A branch target may be a label (absolute) or a numeric relative offset.
+    let branch_offset = |s: &str| -> Result<i32, AsmError> {
+        let s = s.trim();
+        if let Some(&target) = labels.get(s) {
+            Ok(target as i32 - address as i32)
+        } else {
+            imm(s)
+        }
+    };
+    let jump_target = |s: &str| -> Result<u32, AsmError> {
+        let s = s.trim();
+        if let Some(&target) = labels.get(s) {
+            Ok(target)
+        } else {
+            s.parse::<u32>()
+                .map_err(|_| err(format!("unknown label or address '{s}'")))
+        }
+    };
+
+    let alu_of = |name: &str| -> Option<AluOp> {
+        Some(match name {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "and" => AluOp::And,
+            "or" => AluOp::Or,
+            "xor" => AluOp::Xor,
+            "slt" => AluOp::Slt,
+            "mul" => AluOp::Mul,
+            "shl" => AluOp::Shl,
+            "shr" => AluOp::Shr,
+            _ => return None,
+        })
+    };
+    let branch_of = |name: &str| -> Option<BranchKind> {
+        Some(match name {
+            "beq" => BranchKind::Eq,
+            "bne" => BranchKind::Ne,
+            "blt" => BranchKind::Lt,
+            "bge" => BranchKind::Ge,
+            _ => return None,
+        })
+    };
+
+    if let Some(op) = alu_of(&mnemonic) {
+        need(3)?;
+        return Ok(Instr::Alu {
+            op,
+            rd: reg(operands[0])?,
+            rs1: reg(operands[1])?,
+            rs2: reg(operands[2])?,
+        });
+    }
+    if let Some(base) = mnemonic.strip_suffix('i').and_then(alu_of) {
+        need(3)?;
+        return Ok(Instr::AluImm {
+            op: base,
+            rd: reg(operands[0])?,
+            rs1: reg(operands[1])?,
+            imm: imm(operands[2])?,
+        });
+    }
+    if let Some(kind) = branch_of(&mnemonic) {
+        need(3)?;
+        return Ok(Instr::Branch {
+            kind,
+            rs1: reg(operands[0])?,
+            rs2: reg(operands[1])?,
+            offset: branch_offset(operands[2])?,
+        });
+    }
+    match mnemonic.as_str() {
+        "lw" => {
+            need(3)?;
+            Ok(Instr::Load {
+                rd: reg(operands[0])?,
+                rs1: reg(operands[1])?,
+                imm: imm(operands[2])?,
+            })
+        }
+        "sw" => {
+            need(3)?;
+            Ok(Instr::Store {
+                rs2: reg(operands[0])?,
+                rs1: reg(operands[1])?,
+                imm: imm(operands[2])?,
+            })
+        }
+        "jmp" | "j" => {
+            need(1)?;
+            Ok(Instr::Jump {
+                target: jump_target(operands[0])?,
+            })
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Instr::Nop)
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Instr::Halt)
+        }
+        other => Err(err(format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_all_instruction_forms() {
+        let src = "\
+            ; a comment-only line\n\
+            start: addi r1, r0, 5\n\
+            add r2, r1, r1\n\
+            mul r3, r2, r1\n\
+            lw r4, r1, 2\n\
+            sw r4, r1, 3\n\
+            loop: subi r1, r1, 1\n\
+            bne r1, r0, loop\n\
+            blt r1, r2, start\n\
+            jmp end\n\
+            nop\n\
+            end: halt\n";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.len(), 11);
+        assert_eq!(
+            prog[0],
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 0,
+                imm: 5
+            }
+        );
+        assert_eq!(
+            prog[6],
+            Instr::Branch {
+                kind: BranchKind::Ne,
+                rs1: 1,
+                rs2: 0,
+                offset: -1
+            }
+        );
+        assert_eq!(
+            prog[7],
+            Instr::Branch {
+                kind: BranchKind::Lt,
+                rs1: 1,
+                rs2: 2,
+                offset: -7
+            }
+        );
+        assert_eq!(prog[8], Instr::Jump { target: 10 });
+        assert_eq!(prog[10], Instr::Halt);
+    }
+
+    #[test]
+    fn labels_on_their_own_line() {
+        let src = "top:\n  addi r1, r0, 1\n  jmp top\n";
+        let prog = assemble(src).unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(prog[1], Instr::Jump { target: 0 });
+    }
+
+    #[test]
+    fn numeric_branch_offsets_and_targets() {
+        let src = "beq r0, r0, 2\n nop\n jmp 0\n halt\n";
+        let prog = assemble(src).unwrap();
+        assert_eq!(
+            prog[0],
+            Instr::Branch {
+                kind: BranchKind::Eq,
+                rs1: 0,
+                rs2: 0,
+                offset: 2
+            }
+        );
+        assert_eq!(prog[2], Instr::Jump { target: 0 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nfoo r1, r2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown mnemonic"));
+
+        let err = assemble("add r1, r2\n").unwrap_err();
+        assert!(err.message.contains("expects 3 operands"));
+
+        let err = assemble("add r1, r2, r99\n").unwrap_err();
+        assert!(err.message.contains("out of range"));
+
+        let err = assemble("jmp nowhere\n").unwrap_err();
+        assert!(err.message.contains("unknown label"));
+
+        let err = assemble("lw r1, r2, abc\n").unwrap_err();
+        assert!(err.message.contains("bad immediate"));
+    }
+
+    #[test]
+    fn duplicate_labels_are_rejected() {
+        let err = assemble("a: nop\na: halt\n").unwrap_err();
+        assert!(err.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn case_insensitive_mnemonics_and_registers() {
+        let prog = assemble("ADD R1, R2, R3\nHALT\n").unwrap();
+        assert_eq!(
+            prog[0],
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                rs2: 3
+            }
+        );
+    }
+}

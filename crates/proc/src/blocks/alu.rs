@@ -1,0 +1,237 @@
+//! ALU — the execution block.
+
+use wp_core::{PortSet, Process};
+
+use crate::msg::{AluCmd, Msg};
+
+/// Input port fed by the control unit (operation commands).
+pub const IN_CU: usize = 0;
+/// Input port fed by the register file (operands).
+pub const IN_RF: usize = 1;
+/// Output port towards the control unit (flags).
+pub const OUT_CU: usize = 0;
+/// Output port towards the register file (write-backs).
+pub const OUT_RF: usize = 1;
+/// Output port towards the data memory (effective addresses).
+pub const OUT_DC: usize = 2;
+
+/// The arithmetic-logic unit.
+///
+/// A command received at firing *f* schedules an execution at firing *f + 1*,
+/// when the operands read by the register file arrive.  The command port is
+/// needed every firing; the operand port only at execution firings — that is
+/// the communication profile the WP2 shell exploits on the RF→ALU link.
+#[derive(Debug, Clone)]
+pub struct Alu {
+    fires: u64,
+    pending: Option<(u64, AluCmd)>,
+    out_flags: Msg,
+    out_wb: Msg,
+    out_addr: Msg,
+    executed: u64,
+}
+
+impl Alu {
+    /// Creates an idle ALU.
+    pub fn new() -> Self {
+        Self {
+            fires: 0,
+            pending: None,
+            out_flags: Msg::Bubble,
+            out_wb: Msg::Bubble,
+            out_addr: Msg::Bubble,
+            executed: 0,
+        }
+    }
+
+    /// Number of operations executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+}
+
+impl Default for Alu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Process<Msg> for Alu {
+    fn name(&self) -> &str {
+        "ALU"
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn num_outputs(&self) -> usize {
+        3
+    }
+
+    fn output(&self, port: usize) -> Msg {
+        match port {
+            OUT_CU => self.out_flags,
+            OUT_RF => self.out_wb,
+            OUT_DC => self.out_addr,
+            other => panic!("ALU has no output port {other}"),
+        }
+    }
+
+    fn required_inputs(&self) -> PortSet {
+        let mut set = PortSet::single(IN_CU);
+        if matches!(self.pending, Some((due, _)) if due == self.fires) {
+            set.insert(IN_RF);
+        }
+        set
+    }
+
+    fn fire(&mut self, inputs: &[Option<Msg>]) {
+        // Execute a previously scheduled operation first.
+        let due_now = matches!(self.pending, Some((due, _)) if due == self.fires);
+        if due_now {
+            let (_, cmd) = self.pending.take().expect("pending checked above");
+            if let Some(Msg::Operands { a, b }) = inputs[IN_RF] {
+                let rhs = cmd.imm.unwrap_or(b);
+                let result = cmd.op.apply(a, rhs);
+                // Branch comparisons always use the register-register result
+                // (a - b); immediate forms never feed branches.
+                self.out_flags = Msg::Flags {
+                    zero: result == 0,
+                    neg: result < 0,
+                };
+                self.out_wb = if cmd.writes_reg {
+                    Msg::Writeback {
+                        reg: cmd.dst,
+                        value: result,
+                    }
+                } else {
+                    Msg::Bubble
+                };
+                self.out_addr = if cmd.to_mem {
+                    Msg::EffAddr { addr: result }
+                } else {
+                    Msg::Bubble
+                };
+                self.executed += 1;
+            } else {
+                debug_assert!(false, "operands missing at a scheduled execution");
+                self.out_flags = Msg::Bubble;
+                self.out_wb = Msg::Bubble;
+                self.out_addr = Msg::Bubble;
+            }
+        } else {
+            self.out_flags = Msg::Bubble;
+            self.out_wb = Msg::Bubble;
+            self.out_addr = Msg::Bubble;
+        }
+
+        // Accept a new command for the next firing.
+        if let Some(Msg::AluCmd(cmd)) = inputs[IN_CU] {
+            debug_assert!(
+                self.pending.is_none(),
+                "a new ALU command arrived while one was still pending"
+            );
+            self.pending = Some((self.fires + 1, cmd));
+        }
+        self.fires += 1;
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::AluOp;
+
+    fn alu_cmd(op: AluOp, dst: u8, imm: Option<i64>, writes_reg: bool, to_mem: bool) -> Msg {
+        Msg::AluCmd(AluCmd {
+            op,
+            dst,
+            imm,
+            writes_reg,
+            to_mem,
+        })
+    }
+
+    #[test]
+    fn command_then_operands_produces_result() {
+        let mut alu = Alu::new();
+        // Firing 0: the command arrives; only the CU port is required.
+        assert_eq!(alu.required_inputs(), PortSet::single(IN_CU));
+        alu.fire(&[Some(alu_cmd(AluOp::Add, 3, None, true, false)), None]);
+        // Firing 1: operands required and consumed.
+        assert!(alu.required_inputs().contains(IN_RF));
+        alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 20, b: 22 })]);
+        assert_eq!(alu.output(OUT_RF), Msg::Writeback { reg: 3, value: 42 });
+        assert_eq!(alu.output(OUT_DC), Msg::Bubble);
+        assert_eq!(alu.output(OUT_CU), Msg::Flags { zero: false, neg: false });
+        assert_eq!(alu.executed(), 1);
+    }
+
+    #[test]
+    fn immediate_operand_replaces_rs2() {
+        let mut alu = Alu::new();
+        alu.fire(&[Some(alu_cmd(AluOp::Add, 1, Some(100), true, false)), None]);
+        alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 1, b: 999 })]);
+        assert_eq!(alu.output(OUT_RF), Msg::Writeback { reg: 1, value: 101 });
+    }
+
+    #[test]
+    fn memory_address_goes_to_the_data_memory() {
+        let mut alu = Alu::new();
+        alu.fire(&[Some(alu_cmd(AluOp::Add, 0, Some(4), false, true)), None]);
+        alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 10, b: 0 })]);
+        assert_eq!(alu.output(OUT_DC), Msg::EffAddr { addr: 14 });
+        assert_eq!(alu.output(OUT_RF), Msg::Bubble);
+    }
+
+    #[test]
+    fn branch_comparison_sets_flags() {
+        let mut alu = Alu::new();
+        alu.fire(&[Some(alu_cmd(AluOp::Sub, 0, None, false, false)), None]);
+        alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 3, b: 7 })]);
+        assert_eq!(alu.output(OUT_CU), Msg::Flags { zero: false, neg: true });
+
+        let mut alu = Alu::new();
+        alu.fire(&[Some(alu_cmd(AluOp::Sub, 0, None, false, false)), None]);
+        alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 7, b: 7 })]);
+        assert_eq!(alu.output(OUT_CU), Msg::Flags { zero: true, neg: false });
+    }
+
+    #[test]
+    fn idle_firings_emit_bubbles() {
+        let mut alu = Alu::new();
+        alu.fire(&[Some(Msg::Bubble), None]);
+        assert_eq!(alu.output(OUT_CU), Msg::Bubble);
+        assert_eq!(alu.output(OUT_RF), Msg::Bubble);
+        assert_eq!(alu.output(OUT_DC), Msg::Bubble);
+        assert_eq!(alu.executed(), 0);
+    }
+
+    #[test]
+    fn results_are_cleared_on_the_next_firing() {
+        let mut alu = Alu::new();
+        alu.fire(&[Some(alu_cmd(AluOp::Add, 3, None, true, false)), None]);
+        alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 1, b: 1 })]);
+        assert_ne!(alu.output(OUT_RF), Msg::Bubble);
+        alu.fire(&[Some(Msg::Bubble), None]);
+        assert_eq!(alu.output(OUT_RF), Msg::Bubble);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut alu = Alu::new();
+        alu.fire(&[Some(alu_cmd(AluOp::Add, 3, None, true, false)), None]);
+        alu.reset();
+        assert_eq!(alu.required_inputs(), PortSet::single(IN_CU));
+        assert_eq!(alu.executed(), 0);
+    }
+}

@@ -1,0 +1,592 @@
+//! CU — the control unit, in multicycle and pipelined flavours.
+//!
+//! The control unit sequences instruction execution across the other four
+//! blocks by sending per-firing commands.  The *multicycle* organisation
+//! executes one instruction through five non-overlapped phases (instruction
+//! fetch, decode and contextual operand fetch, execution, memory access,
+//! write-back), so the CU↔IC loop is exercised only once every five firings —
+//! the property the paper highlights when explaining why WP2 helps the most
+//! there.  The *pipelined* organisation overlaps the fetch of the next
+//! instruction with the execution of the current one (different loops are
+//! exercised in the same clock cycle), lowering the CPI to three for
+//! arithmetic and memory instructions.
+
+use wp_core::{PortSet, Process};
+
+use crate::isa::{decode, AluOp, BranchKind, Instr};
+use crate::msg::{AluCmd, MemKind, Msg, RegCmd};
+
+/// Input port fed by the instruction memory.
+pub const IN_IC: usize = 0;
+/// Input port fed by the ALU (branch flags).
+pub const IN_ALU: usize = 1;
+/// Output port towards the instruction memory (fetch requests).
+pub const OUT_IC: usize = 0;
+/// Output port towards the register file (register commands).
+pub const OUT_RF: usize = 1;
+/// Output port towards the ALU (operation commands).
+pub const OUT_ALU: usize = 2;
+/// Output port towards the data memory (memory commands).
+pub const OUT_DC: usize = 3;
+
+/// Processor organisation evaluated in the paper's case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Organization {
+    /// Five non-overlapped phases per instruction.
+    Multicycle,
+    /// Fetch of the next instruction overlapped with execution of the
+    /// current one.
+    Pipelined,
+}
+
+impl Organization {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Organization::Multicycle => "multicycle",
+            Organization::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// The commands an instruction sends to the datapath blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IssueBundle {
+    reg: Msg,
+    alu: Msg,
+    mem: Msg,
+    branch: Option<(BranchKind, i32)>,
+    next_pc: NextPc,
+}
+
+/// How the next program counter is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NextPc {
+    /// Sequential (`pc + 1`).
+    Sequential,
+    /// Absolute jump target, known at decode time.
+    Jump(u32),
+    /// Decided at resolve time from the ALU flags.
+    Branch,
+    /// The processor halts.
+    Halt,
+}
+
+/// Derives the command bundle of one instruction.
+fn decode_issue(instr: Instr) -> IssueBundle {
+    let bundle = |reg, alu, mem, branch, next_pc| IssueBundle {
+        reg,
+        alu,
+        mem,
+        branch,
+        next_pc,
+    };
+    match instr {
+        Instr::Alu { op, rd, rs1, rs2 } => bundle(
+            Msg::RegCmd(RegCmd {
+                rs1,
+                rs2,
+                store_reg: None,
+                expect_alu_wb: true,
+                expect_load_wb: false,
+            }),
+            Msg::AluCmd(AluCmd {
+                op,
+                dst: rd,
+                imm: None,
+                writes_reg: true,
+                to_mem: false,
+            }),
+            Msg::MemCmd(MemKind::None),
+            None,
+            NextPc::Sequential,
+        ),
+        Instr::AluImm { op, rd, rs1, imm } => bundle(
+            Msg::RegCmd(RegCmd {
+                rs1,
+                rs2: 0,
+                store_reg: None,
+                expect_alu_wb: true,
+                expect_load_wb: false,
+            }),
+            Msg::AluCmd(AluCmd {
+                op,
+                dst: rd,
+                imm: Some(i64::from(imm)),
+                writes_reg: true,
+                to_mem: false,
+            }),
+            Msg::MemCmd(MemKind::None),
+            None,
+            NextPc::Sequential,
+        ),
+        Instr::Load { rd, rs1, imm } => bundle(
+            Msg::RegCmd(RegCmd {
+                rs1,
+                rs2: 0,
+                store_reg: None,
+                expect_alu_wb: false,
+                expect_load_wb: true,
+            }),
+            Msg::AluCmd(AluCmd {
+                op: AluOp::Add,
+                dst: rd,
+                imm: Some(i64::from(imm)),
+                writes_reg: false,
+                to_mem: true,
+            }),
+            Msg::MemCmd(MemKind::Read { dst: rd }),
+            None,
+            NextPc::Sequential,
+        ),
+        Instr::Store { rs2, rs1, imm } => bundle(
+            Msg::RegCmd(RegCmd {
+                rs1,
+                rs2: 0,
+                store_reg: Some(rs2),
+                expect_alu_wb: false,
+                expect_load_wb: false,
+            }),
+            Msg::AluCmd(AluCmd {
+                op: AluOp::Add,
+                dst: 0,
+                imm: Some(i64::from(imm)),
+                writes_reg: false,
+                to_mem: true,
+            }),
+            Msg::MemCmd(MemKind::Write),
+            None,
+            NextPc::Sequential,
+        ),
+        Instr::Branch {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => bundle(
+            Msg::RegCmd(RegCmd {
+                rs1,
+                rs2,
+                store_reg: None,
+                expect_alu_wb: false,
+                expect_load_wb: false,
+            }),
+            Msg::AluCmd(AluCmd {
+                op: AluOp::Sub,
+                dst: 0,
+                imm: None,
+                writes_reg: false,
+                to_mem: false,
+            }),
+            Msg::MemCmd(MemKind::None),
+            Some((kind, offset)),
+            NextPc::Branch,
+        ),
+        Instr::Jump { target } => bundle(
+            Msg::Bubble,
+            Msg::Bubble,
+            Msg::Bubble,
+            None,
+            NextPc::Jump(target),
+        ),
+        Instr::Nop => bundle(Msg::Bubble, Msg::Bubble, Msg::Bubble, None, NextPc::Sequential),
+        Instr::Halt => bundle(Msg::Bubble, Msg::Bubble, Msg::Bubble, None, NextPc::Halt),
+    }
+}
+
+/// Execution phase of the control unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// The fetch request is on the wire; bookkeeping firing.
+    Fetch,
+    /// The instruction word is consumed and decoded.
+    Decode,
+    /// The datapath commands are on the wires.
+    Issue,
+    /// The ALU is executing (multicycle) / waiting (pipelined branch).
+    Exec,
+    /// The outcome is resolved (flags consumed for branches), the next fetch
+    /// is emitted.
+    Resolve,
+}
+
+/// The control unit block.
+#[derive(Debug, Clone)]
+pub struct ControlUnit {
+    organization: Organization,
+    pc: u32,
+    phase: Phase,
+    current: Option<IssueBundle>,
+    halted: bool,
+    out_fetch: Msg,
+    out_rf: Msg,
+    out_alu: Msg,
+    out_dc: Msg,
+    instructions: u64,
+    branches: u64,
+    taken_branches: u64,
+}
+
+impl ControlUnit {
+    /// Creates a control unit starting execution at address 0.
+    pub fn new(organization: Organization) -> Self {
+        Self {
+            organization,
+            pc: 0,
+            phase: Phase::Fetch,
+            current: None,
+            halted: false,
+            out_fetch: Msg::Fetch { addr: 0 },
+            out_rf: Msg::Bubble,
+            out_alu: Msg::Bubble,
+            out_dc: Msg::Bubble,
+            instructions: 0,
+            branches: 0,
+            taken_branches: 0,
+        }
+    }
+
+    /// The organisation this control unit implements.
+    pub fn organization(&self) -> Organization {
+        self.organization
+    }
+
+    /// Number of instructions decoded so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Number of conditional branches decoded / taken so far.
+    pub fn branch_stats(&self) -> (u64, u64) {
+        (self.branches, self.taken_branches)
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn clear_command_outputs(&mut self) {
+        self.out_rf = Msg::Bubble;
+        self.out_alu = Msg::Bubble;
+        self.out_dc = Msg::Bubble;
+    }
+
+    fn emit_fetch(&mut self) {
+        self.out_fetch = Msg::Fetch { addr: self.pc };
+        self.clear_command_outputs();
+        self.phase = Phase::Fetch;
+    }
+
+    /// Handles the decode firing: consumes the instruction word and sets up
+    /// the command outputs / next phase.
+    fn decode_firing(&mut self, word: Option<u32>) {
+        self.out_fetch = Msg::Bubble;
+        let Some(word) = word else {
+            debug_assert!(false, "instruction word missing at the decode firing");
+            self.clear_command_outputs();
+            return;
+        };
+        let instr = decode(word).unwrap_or(Instr::Halt);
+        self.instructions += 1;
+        let bundle = decode_issue(instr);
+        if bundle.branch.is_some() {
+            self.branches += 1;
+        }
+        match bundle.next_pc {
+            NextPc::Halt => {
+                self.halted = true;
+                self.clear_command_outputs();
+            }
+            NextPc::Jump(target) => {
+                self.pc = target;
+                self.emit_fetch();
+            }
+            NextPc::Sequential if bundle.reg.is_bubble() => {
+                // Nop: nothing to issue, go straight to the next fetch.
+                self.pc = self.pc.wrapping_add(1);
+                self.emit_fetch();
+            }
+            NextPc::Sequential | NextPc::Branch => {
+                self.out_rf = bundle.reg;
+                self.out_alu = bundle.alu;
+                self.out_dc = bundle.mem;
+                self.current = Some(bundle);
+                self.phase = Phase::Issue;
+            }
+        }
+    }
+
+    /// Handles the issue firing (commands are on the wires during this
+    /// cycle).
+    fn issue_firing(&mut self) {
+        self.clear_command_outputs();
+        let is_branch = self
+            .current
+            .as_ref()
+            .is_some_and(|b| b.next_pc == NextPc::Branch);
+        match (self.organization, is_branch) {
+            (Organization::Pipelined, false) => {
+                // Overlap: the next fetch goes out while the datapath works.
+                self.pc = self.pc.wrapping_add(1);
+                self.current = None;
+                self.emit_fetch();
+            }
+            _ => self.phase = Phase::Exec,
+        }
+    }
+
+    /// Handles the resolve firing: consumes flags for branches and emits the
+    /// next fetch.
+    fn resolve_firing(&mut self, flags: Option<(bool, bool)>) {
+        let bundle = self.current.take();
+        match bundle.map(|b| (b.next_pc, b.branch)) {
+            Some((NextPc::Branch, Some((kind, offset)))) => {
+                let (zero, neg) = flags.unwrap_or((false, false));
+                debug_assert!(flags.is_some(), "flags missing at a branch resolve firing");
+                if kind.taken(zero, neg) {
+                    self.taken_branches += 1;
+                    self.pc = self.pc.wrapping_add_signed(offset);
+                } else {
+                    self.pc = self.pc.wrapping_add(1);
+                }
+            }
+            _ => {
+                self.pc = self.pc.wrapping_add(1);
+            }
+        }
+        self.emit_fetch();
+    }
+}
+
+impl Process<Msg> for ControlUnit {
+    fn name(&self) -> &str {
+        "CU"
+    }
+
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn num_outputs(&self) -> usize {
+        4
+    }
+
+    fn output(&self, port: usize) -> Msg {
+        match port {
+            OUT_IC => self.out_fetch,
+            OUT_RF => self.out_rf,
+            OUT_ALU => self.out_alu,
+            OUT_DC => self.out_dc,
+            other => panic!("control unit has no output port {other}"),
+        }
+    }
+
+    fn required_inputs(&self) -> PortSet {
+        match self.phase {
+            Phase::Decode => PortSet::single(IN_IC),
+            Phase::Resolve
+                if self
+                    .current
+                    .as_ref()
+                    .is_some_and(|b| b.next_pc == NextPc::Branch) =>
+            {
+                PortSet::single(IN_ALU)
+            }
+            _ => PortSet::empty(),
+        }
+    }
+
+    fn fire(&mut self, inputs: &[Option<Msg>]) {
+        if self.halted {
+            return;
+        }
+        match self.phase {
+            Phase::Fetch => {
+                // The fetch request was on the wire during this cycle.
+                self.out_fetch = Msg::Bubble;
+                self.clear_command_outputs();
+                self.phase = Phase::Decode;
+            }
+            Phase::Decode => {
+                let word = match inputs[IN_IC] {
+                    Some(Msg::Instr { word }) => Some(word),
+                    _ => None,
+                };
+                self.decode_firing(word);
+            }
+            Phase::Issue => self.issue_firing(),
+            Phase::Exec => {
+                self.clear_command_outputs();
+                self.phase = Phase::Resolve;
+            }
+            Phase::Resolve => {
+                let flags = match inputs[IN_ALU] {
+                    Some(Msg::Flags { zero, neg }) => Some((zero, neg)),
+                    _ => None,
+                };
+                self.resolve_firing(flags);
+            }
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new(self.organization);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::encode;
+
+    fn instr_msg(i: Instr) -> Msg {
+        Msg::Instr {
+            word: encode(i).unwrap(),
+        }
+    }
+
+    fn fire_idle(cu: &mut ControlUnit) {
+        cu.fire(&[Some(Msg::Bubble), Some(Msg::Bubble)]);
+    }
+
+    #[test]
+    fn initial_output_is_a_fetch_of_address_zero() {
+        let cu = ControlUnit::new(Organization::Multicycle);
+        assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: 0 });
+        assert_eq!(cu.output(OUT_RF), Msg::Bubble);
+        assert!(!cu.is_halted());
+    }
+
+    #[test]
+    fn multicycle_alu_instruction_takes_five_firings() {
+        let mut cu = ControlUnit::new(Organization::Multicycle);
+        // Firing 0: fetch bookkeeping.
+        fire_idle(&mut cu);
+        assert_eq!(cu.required_inputs(), PortSet::single(IN_IC));
+        // Firing 1: decode an add; commands must appear on the outputs.
+        cu.fire(&[
+            Some(instr_msg(Instr::Alu {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            })),
+            Some(Msg::Bubble),
+        ]);
+        assert!(matches!(cu.output(OUT_RF), Msg::RegCmd(_)));
+        assert!(matches!(cu.output(OUT_ALU), Msg::AluCmd(_)));
+        assert!(matches!(cu.output(OUT_DC), Msg::MemCmd(MemKind::None)));
+        // Firings 2-3: issue and exec, no inputs required.
+        assert_eq!(cu.required_inputs(), PortSet::empty());
+        fire_idle(&mut cu);
+        fire_idle(&mut cu);
+        // Firing 4: resolve (not a branch: no flags required), next fetch out.
+        assert_eq!(cu.required_inputs(), PortSet::empty());
+        fire_idle(&mut cu);
+        assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: 1 });
+        assert_eq!(cu.instructions(), 1);
+    }
+
+    #[test]
+    fn pipelined_alu_instruction_takes_three_firings() {
+        let mut cu = ControlUnit::new(Organization::Pipelined);
+        fire_idle(&mut cu); // fetch
+        cu.fire(&[
+            Some(instr_msg(Instr::AluImm {
+                op: AluOp::Add,
+                rd: 1,
+                rs1: 1,
+                imm: 1,
+            })),
+            Some(Msg::Bubble),
+        ]); // decode
+        fire_idle(&mut cu); // issue: next fetch already goes out
+        assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: 1 });
+    }
+
+    #[test]
+    fn branch_requires_flags_and_updates_pc() {
+        for (org, flags, expected_pc) in [
+            (Organization::Multicycle, (true, false), 5u32),
+            (Organization::Multicycle, (false, false), 1u32),
+            (Organization::Pipelined, (true, false), 5u32),
+        ] {
+            let mut cu = ControlUnit::new(org);
+            fire_idle(&mut cu);
+            cu.fire(&[
+                Some(instr_msg(Instr::Branch {
+                    kind: BranchKind::Eq,
+                    rs1: 1,
+                    rs2: 2,
+                    offset: 5,
+                })),
+                Some(Msg::Bubble),
+            ]);
+            fire_idle(&mut cu); // issue
+            fire_idle(&mut cu); // exec / wait
+            assert_eq!(cu.required_inputs(), PortSet::single(IN_ALU));
+            cu.fire(&[
+                Some(Msg::Bubble),
+                Some(Msg::Flags {
+                    zero: flags.0,
+                    neg: flags.1,
+                }),
+            ]);
+            assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: expected_pc }, "{org:?}");
+        }
+    }
+
+    #[test]
+    fn jump_and_nop_shortcut_to_the_next_fetch() {
+        let mut cu = ControlUnit::new(Organization::Multicycle);
+        fire_idle(&mut cu);
+        cu.fire(&[Some(instr_msg(Instr::Jump { target: 9 })), Some(Msg::Bubble)]);
+        assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: 9 });
+
+        let mut cu = ControlUnit::new(Organization::Pipelined);
+        fire_idle(&mut cu);
+        cu.fire(&[Some(instr_msg(Instr::Nop)), Some(Msg::Bubble)]);
+        assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: 1 });
+    }
+
+    #[test]
+    fn halt_stops_the_control_unit() {
+        let mut cu = ControlUnit::new(Organization::Multicycle);
+        fire_idle(&mut cu);
+        cu.fire(&[Some(instr_msg(Instr::Halt)), Some(Msg::Bubble)]);
+        assert!(cu.is_halted());
+        assert_eq!(cu.output(OUT_RF), Msg::Bubble);
+        // Further firings are inert.
+        fire_idle(&mut cu);
+        assert!(cu.is_halted());
+    }
+
+    #[test]
+    fn oracle_requires_ic_only_at_decode() {
+        let mut cu = ControlUnit::new(Organization::Multicycle);
+        assert_eq!(cu.required_inputs(), PortSet::empty()); // fetch phase
+        fire_idle(&mut cu);
+        assert_eq!(cu.required_inputs(), PortSet::single(IN_IC)); // decode
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let mut cu = ControlUnit::new(Organization::Pipelined);
+        fire_idle(&mut cu);
+        cu.fire(&[Some(instr_msg(Instr::Halt)), Some(Msg::Bubble)]);
+        assert!(cu.is_halted());
+        cu.reset();
+        assert!(!cu.is_halted());
+        assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: 0 });
+        assert_eq!(cu.organization(), Organization::Pipelined);
+    }
+}

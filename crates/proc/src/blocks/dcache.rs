@@ -1,0 +1,250 @@
+//! DC — the data memory block.
+
+use wp_core::{PortSet, Process};
+
+use crate::msg::{MemKind, Msg};
+
+/// Input port fed by the control unit (memory commands).
+pub const IN_CU: usize = 0;
+/// Input port fed by the register file (store data).
+pub const IN_RF: usize = 1;
+/// Input port fed by the ALU (effective addresses).
+pub const IN_ALU: usize = 2;
+/// Output port towards the register file (load data).
+pub const OUT_RF: usize = 0;
+
+/// The data memory.
+///
+/// A memory command received at firing *f* schedules the capture of the store
+/// data at *f + 1* (writes only) and the access itself — using the effective
+/// address computed by the ALU — at *f + 2*.  The command port is required
+/// every firing; the store-data and address ports only at the scheduled
+/// firings, which is what lets the WP2 shell tolerate relay stations on the
+/// RF→DC and ALU→DC links at almost no cost.
+#[derive(Debug, Clone)]
+pub struct DataMem {
+    memory: Vec<i64>,
+    fires: u64,
+    store_data_due: Option<u64>,
+    access_due: Option<(u64, MemKind)>,
+    held_store: i64,
+    out_load: Msg,
+    reads: u64,
+    writes: u64,
+    faults: u64,
+}
+
+impl DataMem {
+    /// Creates a data memory with the given initial contents.
+    pub fn new(initial: Vec<i64>) -> Self {
+        Self {
+            memory: initial,
+            fires: 0,
+            store_data_due: None,
+            access_due: None,
+            held_store: 0,
+            out_load: Msg::Bubble,
+            reads: 0,
+            writes: 0,
+            faults: 0,
+        }
+    }
+
+    /// The current memory contents.
+    pub fn memory(&self) -> &[i64] {
+        &self.memory
+    }
+
+    /// Number of read accesses performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write accesses performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of out-of-range accesses that were ignored.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+}
+
+impl Process<Msg> for DataMem {
+    fn name(&self) -> &str {
+        "DC"
+    }
+
+    fn num_inputs(&self) -> usize {
+        3
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn output(&self, _port: usize) -> Msg {
+        self.out_load
+    }
+
+    fn required_inputs(&self) -> PortSet {
+        let mut set = PortSet::single(IN_CU);
+        if self.store_data_due == Some(self.fires) {
+            set.insert(IN_RF);
+        }
+        if matches!(self.access_due, Some((due, _)) if due == self.fires) {
+            set.insert(IN_ALU);
+        }
+        set
+    }
+
+    fn fire(&mut self, inputs: &[Option<Msg>]) {
+        // 1. Capture store data if scheduled for this firing.
+        if self.store_data_due == Some(self.fires) {
+            self.store_data_due = None;
+            if let Some(Msg::StoreData { value }) = inputs[IN_RF] {
+                self.held_store = value;
+            } else {
+                debug_assert!(false, "store data missing at its scheduled firing");
+            }
+        }
+
+        // 2. Perform the access if scheduled for this firing.
+        self.out_load = Msg::Bubble;
+        if matches!(self.access_due, Some((due, _)) if due == self.fires) {
+            let (_, kind) = self.access_due.take().expect("checked above");
+            if let Some(Msg::EffAddr { addr }) = inputs[IN_ALU] {
+                let slot = usize::try_from(addr).ok();
+                match kind {
+                    MemKind::Read { dst } => match slot.and_then(|a| self.memory.get(a)) {
+                        Some(&value) => {
+                            self.reads += 1;
+                            self.out_load = Msg::LoadData { reg: dst, value };
+                        }
+                        None => self.faults += 1,
+                    },
+                    MemKind::Write => match slot.and_then(|a| self.memory.get_mut(a)) {
+                        Some(cell) => {
+                            *cell = self.held_store;
+                            self.writes += 1;
+                        }
+                        None => self.faults += 1,
+                    },
+                    MemKind::None => {}
+                }
+            } else {
+                debug_assert!(false, "effective address missing at its scheduled firing");
+            }
+        }
+
+        // 3. Accept a new command.
+        if let Some(Msg::MemCmd(kind)) = inputs[IN_CU] {
+            match kind {
+                MemKind::None => {}
+                MemKind::Read { .. } => {
+                    debug_assert!(self.access_due.is_none(), "overlapping memory accesses");
+                    self.access_due = Some((self.fires + 2, kind));
+                }
+                MemKind::Write => {
+                    debug_assert!(self.access_due.is_none(), "overlapping memory accesses");
+                    self.access_due = Some((self.fires + 2, kind));
+                    self.store_data_due = Some(self.fires + 1);
+                }
+            }
+        }
+        self.fires += 1;
+    }
+
+    fn reset(&mut self) {
+        // The initial memory image is not retained; a fresh workload is
+        // normally built per run.  Reset only clears the dynamic state.
+        self.fires = 0;
+        self.store_data_due = None;
+        self.access_due = None;
+        self.held_store = 0;
+        self.out_load = Msg::Bubble;
+        self.reads = 0;
+        self.writes = 0;
+        self.faults = 0;
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle() -> [Option<Msg>; 3] {
+        [Some(Msg::Bubble), None, None]
+    }
+
+    #[test]
+    fn read_sequence_produces_load_data() {
+        let mut dc = DataMem::new(vec![10, 20, 30]);
+        // Firing 0: read command for r5.
+        dc.fire(&[Some(Msg::MemCmd(MemKind::Read { dst: 5 })), None, None]);
+        assert!(!dc.required_inputs().contains(IN_RF));
+        // Firing 1: nothing due yet (reads need no store data).
+        dc.fire(&idle());
+        // Firing 2: address arrives, access happens.
+        assert!(dc.required_inputs().contains(IN_ALU));
+        dc.fire(&[Some(Msg::Bubble), None, Some(Msg::EffAddr { addr: 2 })]);
+        assert_eq!(dc.output(0), Msg::LoadData { reg: 5, value: 30 });
+        assert_eq!(dc.reads(), 1);
+    }
+
+    #[test]
+    fn write_sequence_updates_memory() {
+        let mut dc = DataMem::new(vec![0; 4]);
+        dc.fire(&[Some(Msg::MemCmd(MemKind::Write)), None, None]);
+        // Firing 1: store data due.
+        assert!(dc.required_inputs().contains(IN_RF));
+        dc.fire(&[Some(Msg::Bubble), Some(Msg::StoreData { value: 77 }), None]);
+        // Firing 2: address due, write performed.
+        dc.fire(&[Some(Msg::Bubble), None, Some(Msg::EffAddr { addr: 1 })]);
+        assert_eq!(dc.memory(), &[0, 77, 0, 0]);
+        assert_eq!(dc.writes(), 1);
+        assert_eq!(dc.output(0), Msg::Bubble);
+    }
+
+    #[test]
+    fn out_of_range_access_is_counted_not_fatal() {
+        let mut dc = DataMem::new(vec![1]);
+        dc.fire(&[Some(Msg::MemCmd(MemKind::Read { dst: 1 })), None, None]);
+        dc.fire(&idle());
+        dc.fire(&[Some(Msg::Bubble), None, Some(Msg::EffAddr { addr: 50 })]);
+        assert_eq!(dc.faults(), 1);
+        assert_eq!(dc.output(0), Msg::Bubble);
+    }
+
+    #[test]
+    fn only_the_command_port_is_required_when_idle() {
+        let dc = DataMem::new(vec![]);
+        assert_eq!(dc.required_inputs(), PortSet::single(IN_CU));
+    }
+
+    #[test]
+    fn load_output_lasts_one_firing() {
+        let mut dc = DataMem::new(vec![9]);
+        dc.fire(&[Some(Msg::MemCmd(MemKind::Read { dst: 2 })), None, None]);
+        dc.fire(&idle());
+        dc.fire(&[Some(Msg::Bubble), None, Some(Msg::EffAddr { addr: 0 })]);
+        assert_eq!(dc.output(0), Msg::LoadData { reg: 2, value: 9 });
+        dc.fire(&idle());
+        assert_eq!(dc.output(0), Msg::Bubble);
+    }
+
+    #[test]
+    fn reset_clears_dynamic_state() {
+        let mut dc = DataMem::new(vec![5]);
+        dc.fire(&[Some(Msg::MemCmd(MemKind::Write)), None, None]);
+        dc.reset();
+        assert_eq!(dc.required_inputs(), PortSet::single(IN_CU));
+        assert_eq!(dc.reads(), 0);
+        assert_eq!(dc.memory(), &[5]);
+    }
+}

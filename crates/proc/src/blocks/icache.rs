@@ -1,0 +1,141 @@
+//! IC — the instruction memory block.
+
+use wp_core::Process;
+
+use crate::isa::{encode, Instr};
+use crate::msg::Msg;
+
+/// The instruction memory: answers every fetch request with the instruction
+/// word stored at the requested address.
+///
+/// Ports: input 0 = CU→IC (fetch requests); output 0 = IC→CU (instruction
+/// words).  The block needs its input every firing (it cannot know whether a
+/// request is present without looking at it), so the CU↔IC link gains nothing
+/// from the oracle — exactly the behaviour reported in the paper.
+#[derive(Debug, Clone)]
+pub struct InstrMem {
+    rom: Vec<u32>,
+    out: Msg,
+    fetches: u64,
+}
+
+impl InstrMem {
+    /// Creates an instruction memory holding the encoded `program`.
+    pub fn new(program: &[Instr]) -> Self {
+        let rom = program
+            .iter()
+            .map(|&i| encode(i).expect("program instruction must encode"))
+            .collect();
+        Self {
+            rom,
+            out: Msg::Bubble,
+            fetches: 0,
+        }
+    }
+
+    /// Number of fetch requests served so far.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Number of instruction words stored.
+    pub fn len(&self) -> usize {
+        self.rom.len()
+    }
+
+    /// Returns `true` when the memory holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.rom.is_empty()
+    }
+}
+
+impl Process<Msg> for InstrMem {
+    fn name(&self) -> &str {
+        "IC"
+    }
+
+    fn num_inputs(&self) -> usize {
+        1
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn output(&self, _port: usize) -> Msg {
+        self.out
+    }
+
+    fn fire(&mut self, inputs: &[Option<Msg>]) {
+        self.out = match inputs[0] {
+            Some(Msg::Fetch { addr }) => {
+                self.fetches += 1;
+                let word = self
+                    .rom
+                    .get(addr as usize)
+                    .copied()
+                    .unwrap_or_else(|| encode(Instr::Halt).expect("halt encodes"));
+                Msg::Instr { word }
+            }
+            _ => Msg::Bubble,
+        };
+    }
+
+    fn reset(&mut self) {
+        self.out = Msg::Bubble;
+        self.fetches = 0;
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::decode;
+
+    #[test]
+    fn answers_fetches_one_firing_later() {
+        let program = vec![Instr::Nop, Instr::Halt];
+        let mut ic = InstrMem::new(&program);
+        assert_eq!(ic.output(0), Msg::Bubble);
+        ic.fire(&[Some(Msg::Fetch { addr: 1 })]);
+        match ic.output(0) {
+            Msg::Instr { word } => assert_eq!(decode(word).unwrap(), Instr::Halt),
+            other => panic!("unexpected output {other:?}"),
+        }
+        assert_eq!(ic.fetches(), 1);
+    }
+
+    #[test]
+    fn bubble_request_yields_bubble() {
+        let mut ic = InstrMem::new(&[Instr::Nop]);
+        ic.fire(&[Some(Msg::Bubble)]);
+        assert_eq!(ic.output(0), Msg::Bubble);
+        ic.fire(&[None]);
+        assert_eq!(ic.output(0), Msg::Bubble);
+    }
+
+    #[test]
+    fn out_of_range_fetch_returns_halt() {
+        let mut ic = InstrMem::new(&[Instr::Nop]);
+        ic.fire(&[Some(Msg::Fetch { addr: 99 })]);
+        match ic.output(0) {
+            Msg::Instr { word } => assert_eq!(decode(word).unwrap(), Instr::Halt),
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut ic = InstrMem::new(&[Instr::Nop]);
+        ic.fire(&[Some(Msg::Fetch { addr: 0 })]);
+        ic.reset();
+        assert_eq!(ic.output(0), Msg::Bubble);
+        assert_eq!(ic.fetches(), 0);
+        assert_eq!(ic.len(), 1);
+        assert!(!ic.is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! The five IP blocks of the case-study processor (fig. 1 of the paper).
+
+pub mod alu;
+pub mod cu;
+pub mod dcache;
+pub mod icache;
+pub mod regfile;
+
+pub use alu::Alu;
+pub use cu::{ControlUnit, Organization};
+pub use dcache::DataMem;
+pub use icache::InstrMem;
+pub use regfile::RegFile;

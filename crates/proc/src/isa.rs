@@ -1,0 +1,584 @@
+//! The minimal instruction set of the case-study processor.
+//!
+//! The paper's processor uses "a minimal instruction set" able to run the two
+//! benchmark kernels (extraction sort and matrix multiplication).  This
+//! module defines such an ISA: a small three-address RISC with sixteen
+//! registers, word-addressed memory, conditional branches and an explicit
+//! `Halt`.  Instructions have a 32-bit encoding so that the instruction
+//! memory stores plain words and the control unit performs a real decode.
+
+use std::fmt;
+
+/// Number of architectural registers (`r0` is hard-wired to zero).
+pub const NUM_REGS: usize = 16;
+
+/// A register index (`0..NUM_REGS`).
+pub type Reg = u8;
+
+/// ALU operations (also used for effective-address computation and branch
+/// comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Set-less-than (signed): 1 when `a < b`, else 0.
+    Slt,
+    /// Multiplication.
+    Mul,
+    /// Logical shift left by `b` bits.
+    Shl,
+    /// Arithmetic shift right by `b` bits.
+    Shr,
+}
+
+impl AluOp {
+    /// Applies the operation to two signed operands.
+    pub fn apply(&self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Slt => i64::from(a < b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Slt => "slt",
+            AluOp::Mul => "mul",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Branch comparison kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Taken when the operands are equal.
+    Eq,
+    /// Taken when the operands differ.
+    Ne,
+    /// Taken when `rs1 < rs2` (signed).
+    Lt,
+    /// Taken when `rs1 >= rs2` (signed).
+    Ge,
+}
+
+impl BranchKind {
+    /// Evaluates the branch condition from the ALU comparison flags
+    /// (`zero`/`neg` of `rs1 - rs2`).
+    pub fn taken(&self, zero: bool, neg: bool) -> bool {
+        match self {
+            BranchKind::Eq => zero,
+            BranchKind::Ne => !zero,
+            BranchKind::Lt => neg,
+            BranchKind::Ge => !neg,
+        }
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Eq => "beq",
+            BranchKind::Ne => "bne",
+            BranchKind::Lt => "blt",
+            BranchKind::Ge => "bge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One instruction of the minimal ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `rd = rs1 <op> rs2`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        rs1: Reg,
+        /// Second source register.
+        rs2: Reg,
+    },
+    /// `rd = rs1 <op> imm` (immediate second operand).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs1: Reg,
+        /// Signed immediate operand.
+        imm: i32,
+    },
+    /// `rd = mem[rs1 + imm]`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Signed address offset (in words).
+        imm: i32,
+    },
+    /// `mem[rs1 + imm] = rs2`.
+    Store {
+        /// Register holding the value to store.
+        rs2: Reg,
+        /// Base address register.
+        rs1: Reg,
+        /// Signed address offset (in words).
+        imm: i32,
+    },
+    /// Conditional branch: when taken, `pc = pc + offset`, else `pc + 1`.
+    Branch {
+        /// Comparison kind.
+        kind: BranchKind,
+        /// First compared register.
+        rs1: Reg,
+        /// Second compared register.
+        rs2: Reg,
+        /// Signed offset relative to the branch instruction (in instructions).
+        offset: i32,
+    },
+    /// Unconditional jump to an absolute instruction address.
+    Jump {
+        /// Absolute target address (instruction index).
+        target: u32,
+    },
+    /// No operation.
+    Nop,
+    /// Stop the processor.
+    Halt,
+}
+
+impl Instr {
+    /// Returns `true` for conditional branches.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// Returns `true` for memory accesses.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Alu { op, rd, rs1, rs2 } => write!(f, "{op} r{rd}, r{rs1}, r{rs2}"),
+            Instr::AluImm { op, rd, rs1, imm } => write!(f, "{op}i r{rd}, r{rs1}, {imm}"),
+            Instr::Load { rd, rs1, imm } => write!(f, "lw r{rd}, r{rs1}, {imm}"),
+            Instr::Store { rs2, rs1, imm } => write!(f, "sw r{rs2}, r{rs1}, {imm}"),
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{kind} r{rs1}, r{rs2}, {offset}"),
+            Instr::Jump { target } => write!(f, "jmp {target}"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Errors produced while encoding or decoding instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The opcode field of a word does not name an instruction.
+    UnknownOpcode(u8),
+    /// An immediate does not fit in the encoding field.
+    ImmediateOutOfRange(i32),
+    /// A register index is out of range.
+    BadRegister(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            CodecError::ImmediateOutOfRange(v) => {
+                write!(f, "immediate {v} does not fit in 14 bits")
+            }
+            CodecError::BadRegister(r) => write!(f, "register index {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// Encoding layout (32 bits):
+//   [31:26] opcode   [25:22] rd/rs2'   [21:18] rs1   [17:14] rs2   [13:0] imm (signed)
+// Jump uses the whole [25:0] field for the absolute target.
+const OPC_ALU: u8 = 0x01; // op encoded in imm low bits
+const OPC_ALUI: u8 = 0x02;
+const OPC_LOAD: u8 = 0x03;
+const OPC_STORE: u8 = 0x04;
+const OPC_BRANCH: u8 = 0x05;
+const OPC_JUMP: u8 = 0x06;
+const OPC_NOP: u8 = 0x07;
+const OPC_HALT: u8 = 0x08;
+
+const IMM_BITS: u32 = 14;
+const IMM_MAX: i32 = (1 << (IMM_BITS - 1)) - 1;
+const IMM_MIN: i32 = -(1 << (IMM_BITS - 1));
+
+fn alu_op_code(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Slt => 5,
+        AluOp::Mul => 6,
+        AluOp::Shl => 7,
+        AluOp::Shr => 8,
+    }
+}
+
+fn alu_op_from_code(code: u32) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Slt,
+        6 => AluOp::Mul,
+        7 => AluOp::Shl,
+        8 => AluOp::Shr,
+        _ => return None,
+    })
+}
+
+fn branch_code(kind: BranchKind) -> u32 {
+    match kind {
+        BranchKind::Eq => 0,
+        BranchKind::Ne => 1,
+        BranchKind::Lt => 2,
+        BranchKind::Ge => 3,
+    }
+}
+
+fn branch_from_code(code: u32) -> BranchKind {
+    match code & 0x3 {
+        0 => BranchKind::Eq,
+        1 => BranchKind::Ne,
+        2 => BranchKind::Lt,
+        _ => BranchKind::Ge,
+    }
+}
+
+fn check_reg(r: Reg) -> Result<u32, CodecError> {
+    if (r as usize) < NUM_REGS {
+        Ok(u32::from(r))
+    } else {
+        Err(CodecError::BadRegister(r))
+    }
+}
+
+fn check_imm(v: i32) -> Result<u32, CodecError> {
+    if (IMM_MIN..=IMM_MAX).contains(&v) {
+        Ok((v as u32) & ((1 << IMM_BITS) - 1))
+    } else {
+        Err(CodecError::ImmediateOutOfRange(v))
+    }
+}
+
+fn sign_extend_imm(raw: u32) -> i32 {
+    let shift = 32 - IMM_BITS;
+    (((raw & ((1 << IMM_BITS) - 1)) << shift) as i32) >> shift
+}
+
+fn fields(word: u32) -> (u8, u8, u8, u8, u32) {
+    let opcode = (word >> 26) as u8;
+    let rd = ((word >> 22) & 0xF) as u8;
+    let rs1 = ((word >> 18) & 0xF) as u8;
+    let rs2 = ((word >> 14) & 0xF) as u8;
+    let imm = word & ((1 << IMM_BITS) - 1);
+    (opcode, rd, rs1, rs2, imm)
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] when a register index or immediate does not fit the
+/// encoding.
+pub fn encode(instr: Instr) -> Result<u32, CodecError> {
+    let pack = |opcode: u8, rd: u32, rs1: u32, rs2: u32, imm: u32| {
+        (u32::from(opcode) << 26) | (rd << 22) | (rs1 << 18) | (rs2 << 14) | imm
+    };
+    Ok(match instr {
+        Instr::Alu { op, rd, rs1, rs2 } => pack(
+            OPC_ALU,
+            check_reg(rd)?,
+            check_reg(rs1)?,
+            check_reg(rs2)?,
+            alu_op_code(op),
+        ),
+        Instr::AluImm { op, rd, rs1, imm } => {
+            // The ALU sub-operation rides in rs2 for the immediate form.
+            pack(
+                OPC_ALUI,
+                check_reg(rd)?,
+                check_reg(rs1)?,
+                alu_op_code(op),
+                check_imm(imm)?,
+            )
+        }
+        Instr::Load { rd, rs1, imm } => pack(
+            OPC_LOAD,
+            check_reg(rd)?,
+            check_reg(rs1)?,
+            0,
+            check_imm(imm)?,
+        ),
+        Instr::Store { rs2, rs1, imm } => pack(
+            OPC_STORE,
+            check_reg(rs2)?,
+            check_reg(rs1)?,
+            0,
+            check_imm(imm)?,
+        ),
+        Instr::Branch {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => pack(
+            OPC_BRANCH,
+            branch_code(kind),
+            check_reg(rs1)?,
+            check_reg(rs2)?,
+            check_imm(offset)?,
+        ),
+        Instr::Jump { target } => (u32::from(OPC_JUMP) << 26) | (target & 0x03FF_FFFF),
+        Instr::Nop => u32::from(OPC_NOP) << 26,
+        Instr::Halt => u32::from(OPC_HALT) << 26,
+    })
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`CodecError::UnknownOpcode`] for words that do not encode an
+/// instruction of this ISA.
+pub fn decode(word: u32) -> Result<Instr, CodecError> {
+    let (opcode, rd, rs1, rs2, imm) = fields(word);
+    Ok(match opcode {
+        OPC_ALU => Instr::Alu {
+            op: alu_op_from_code(imm).ok_or(CodecError::UnknownOpcode(opcode))?,
+            rd,
+            rs1,
+            rs2,
+        },
+        OPC_ALUI => Instr::AluImm {
+            op: alu_op_from_code(u32::from(rs2)).ok_or(CodecError::UnknownOpcode(opcode))?,
+            rd,
+            rs1,
+            imm: sign_extend_imm(imm),
+        },
+        OPC_LOAD => Instr::Load {
+            rd,
+            rs1,
+            imm: sign_extend_imm(imm),
+        },
+        OPC_STORE => Instr::Store {
+            rs2: rd,
+            rs1,
+            imm: sign_extend_imm(imm),
+        },
+        OPC_BRANCH => Instr::Branch {
+            kind: branch_from_code(u32::from(rd)),
+            rs1,
+            rs2,
+            offset: sign_extend_imm(imm),
+        },
+        OPC_JUMP => Instr::Jump {
+            target: word & 0x03FF_FFFF,
+        },
+        OPC_NOP => Instr::Nop,
+        OPC_HALT => Instr::Halt,
+        other => return Err(CodecError::UnknownOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let word = encode(i).unwrap();
+        let back = decode(word).unwrap();
+        assert_eq!(i, back, "roundtrip of {i}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_forms() {
+        roundtrip(Instr::Alu {
+            op: AluOp::Add,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        });
+        roundtrip(Instr::Alu {
+            op: AluOp::Mul,
+            rd: 15,
+            rs1: 14,
+            rs2: 13,
+        });
+        roundtrip(Instr::AluImm {
+            op: AluOp::Add,
+            rd: 4,
+            rs1: 5,
+            imm: -7,
+        });
+        roundtrip(Instr::AluImm {
+            op: AluOp::Slt,
+            rd: 4,
+            rs1: 5,
+            imm: 8191,
+        });
+        roundtrip(Instr::Load {
+            rd: 6,
+            rs1: 7,
+            imm: 100,
+        });
+        roundtrip(Instr::Store {
+            rs2: 8,
+            rs1: 9,
+            imm: -100,
+        });
+        roundtrip(Instr::Branch {
+            kind: BranchKind::Lt,
+            rs1: 10,
+            rs2: 11,
+            offset: -20,
+        });
+        roundtrip(Instr::Jump { target: 12345 });
+        roundtrip(Instr::Nop);
+        roundtrip(Instr::Halt);
+    }
+
+    #[test]
+    fn alu_operations_compute_expected_values() {
+        assert_eq!(AluOp::Add.apply(3, 4), 7);
+        assert_eq!(AluOp::Sub.apply(3, 4), -1);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Slt.apply(-1, 0), 1);
+        assert_eq!(AluOp::Slt.apply(5, 5), 0);
+        assert_eq!(AluOp::Mul.apply(-3, 7), -21);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(-16, 2), -4);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchKind::Eq.taken(true, false));
+        assert!(!BranchKind::Eq.taken(false, true));
+        assert!(BranchKind::Ne.taken(false, false));
+        assert!(BranchKind::Lt.taken(false, true));
+        assert!(BranchKind::Ge.taken(false, false));
+        assert!(BranchKind::Ge.taken(true, false));
+        assert!(!BranchKind::Ge.taken(false, true));
+    }
+
+    #[test]
+    fn immediate_range_is_enforced() {
+        let too_big = Instr::AluImm {
+            op: AluOp::Add,
+            rd: 1,
+            rs1: 1,
+            imm: 10_000,
+        };
+        assert!(matches!(
+            encode(too_big),
+            Err(CodecError::ImmediateOutOfRange(10_000))
+        ));
+        let bad_reg = Instr::Load {
+            rd: 20,
+            rs1: 0,
+            imm: 0,
+        };
+        assert!(matches!(encode(bad_reg), Err(CodecError::BadRegister(20))));
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let word = 0x3F << 26;
+        assert!(matches!(decode(word), Err(CodecError::UnknownOpcode(0x3F))));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Instr::Branch {
+            kind: BranchKind::Ge,
+            rs1: 2,
+            rs2: 6,
+            offset: 12,
+        };
+        assert_eq!(format!("{i}"), "bge r2, r6, 12");
+        assert_eq!(
+            format!(
+                "{}",
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: 1,
+                    rs1: 0,
+                    imm: 5
+                }
+            ),
+            "addi r1, r0, 5"
+        );
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Instr::Branch {
+            kind: BranchKind::Eq,
+            rs1: 0,
+            rs2: 0,
+            offset: 1
+        }
+        .is_branch());
+        assert!(Instr::Load {
+            rd: 1,
+            rs1: 0,
+            imm: 0
+        }
+        .is_mem());
+        assert!(!Instr::Halt.is_mem());
+    }
+}

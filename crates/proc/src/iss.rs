@@ -1,0 +1,306 @@
+//! Golden instruction-set simulator (architectural reference model).
+//!
+//! The ISS executes programs directly on architectural state (registers and
+//! data memory), one instruction per step, with no notion of blocks, channels
+//! or cycles.  It provides the functional reference against which both the
+//! golden block-level processor and the wire-pipelined implementations are
+//! checked.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Instr, NUM_REGS};
+
+/// Errors raised by the ISS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IssError {
+    /// The program counter left the program.
+    PcOutOfRange {
+        /// The offending program counter.
+        pc: u32,
+    },
+    /// A load or store accessed an address outside the data memory.
+    AddressOutOfRange {
+        /// The offending word address.
+        addr: i64,
+    },
+    /// The instruction limit was reached before `halt`.
+    InstructionLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for IssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+            IssError::AddressOutOfRange { addr } => {
+                write!(f, "data address {addr} out of range")
+            }
+            IssError::InstructionLimit { limit } => {
+                write!(f, "instruction limit of {limit} reached before halt")
+            }
+        }
+    }
+}
+
+impl Error for IssError {}
+
+/// Result of a completed ISS run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssResult {
+    /// Final register values.
+    pub regs: Vec<i64>,
+    /// Final data-memory contents.
+    pub memory: Vec<i64>,
+    /// Number of instructions executed (including the final `halt`).
+    pub instructions: u64,
+}
+
+/// The instruction-set simulator.
+#[derive(Debug, Clone)]
+pub struct Iss {
+    program: Vec<Instr>,
+    regs: [i64; NUM_REGS],
+    memory: Vec<i64>,
+    pc: u32,
+    executed: u64,
+    halted: bool,
+}
+
+impl Iss {
+    /// Creates an ISS for `program` with the given initial data memory.
+    pub fn new(program: Vec<Instr>, memory: Vec<i64>) -> Self {
+        Self {
+            program,
+            regs: [0; NUM_REGS],
+            memory,
+            pc: 0,
+            executed: 0,
+            halted: false,
+        }
+    }
+
+    /// Returns `true` once a `halt` instruction has been executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.executed
+    }
+
+    /// Current register values.
+    pub fn regs(&self) -> &[i64] {
+        &self.regs
+    }
+
+    /// Current data-memory contents.
+    pub fn memory(&self) -> &[i64] {
+        &self.memory
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IssError`] for out-of-range program counters or data
+    /// addresses.
+    pub fn step(&mut self) -> Result<(), IssError> {
+        if self.halted {
+            return Ok(());
+        }
+        let instr = *self
+            .program
+            .get(self.pc as usize)
+            .ok_or(IssError::PcOutOfRange { pc: self.pc })?;
+        self.executed += 1;
+        let mut next_pc = self.pc.wrapping_add(1);
+        match instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let value = op.apply(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, value);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let value = op.apply(self.reg(rs1), i64::from(imm));
+                self.set_reg(rd, value);
+            }
+            Instr::Load { rd, rs1, imm } => {
+                let addr = self.reg(rs1) + i64::from(imm);
+                let value = self.read_mem(addr)?;
+                self.set_reg(rd, value);
+            }
+            Instr::Store { rs2, rs1, imm } => {
+                let addr = self.reg(rs1) + i64::from(imm);
+                let value = self.reg(rs2);
+                self.write_mem(addr, value)?;
+            }
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let diff = a.wrapping_sub(b);
+                if kind.taken(diff == 0, diff < 0) {
+                    next_pc = self.pc.wrapping_add_signed(offset);
+                }
+            }
+            Instr::Jump { target } => next_pc = target,
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+                next_pc = self.pc;
+            }
+        }
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    /// Runs until `halt` or until `max_instructions` have executed, and
+    /// returns the final architectural state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IssError`] for execution faults or when the instruction
+    /// limit is exceeded.
+    pub fn run(&mut self, max_instructions: u64) -> Result<IssResult, IssError> {
+        while !self.halted {
+            if self.executed >= max_instructions {
+                return Err(IssError::InstructionLimit {
+                    limit: max_instructions,
+                });
+            }
+            self.step()?;
+        }
+        Ok(IssResult {
+            regs: self.regs.to_vec(),
+            memory: self.memory.clone(),
+            instructions: self.executed,
+        })
+    }
+
+    fn reg(&self, r: u8) -> i64 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    fn set_reg(&mut self, r: u8, value: i64) {
+        if r != 0 {
+            self.regs[r as usize] = value;
+        }
+    }
+
+    fn read_mem(&self, addr: i64) -> Result<i64, IssError> {
+        usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.memory.get(a).copied())
+            .ok_or(IssError::AddressOutOfRange { addr })
+    }
+
+    fn write_mem(&mut self, addr: i64, value: i64) -> Result<(), IssError> {
+        let slot = usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.memory.get_mut(a))
+            .ok_or(IssError::AddressOutOfRange { addr })?;
+        *slot = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str, memory: Vec<i64>) -> IssResult {
+        let program = assemble(src).unwrap();
+        Iss::new(program, memory).run(1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_registers() {
+        let result = run(
+            "addi r1, r0, 6\n\
+             addi r2, r0, 7\n\
+             mul  r3, r1, r2\n\
+             sub  r4, r3, r1\n\
+             halt\n",
+            vec![0; 4],
+        );
+        assert_eq!(result.regs[3], 42);
+        assert_eq!(result.regs[4], 36);
+        assert_eq!(result.instructions, 5);
+    }
+
+    #[test]
+    fn r0_is_hardwired_to_zero() {
+        let result = run("addi r0, r0, 99\nadd r1, r0, r0\nhalt\n", vec![0]);
+        assert_eq!(result.regs[0], 0);
+        assert_eq!(result.regs[1], 0);
+    }
+
+    #[test]
+    fn loads_stores_and_loops() {
+        // Sum memory[0..4] into memory[4].
+        let result = run(
+            "addi r1, r0, 0\n\
+             addi r2, r0, 0\n\
+             addi r3, r0, 4\n\
+             loop: bge r1, r3, done\n\
+             lw   r4, r1, 0\n\
+             add  r2, r2, r4\n\
+             addi r1, r1, 1\n\
+             jmp  loop\n\
+             done: sw r2, r0, 4\n\
+             halt\n",
+            vec![10, 20, 30, 40, 0],
+        );
+        assert_eq!(result.memory[4], 100);
+    }
+
+    #[test]
+    fn branches_taken_and_not_taken() {
+        let result = run(
+            "addi r1, r0, 5\n\
+             beq  r1, r0, skip\n\
+             addi r2, r0, 1\n\
+             skip: bne r1, r0, over\n\
+             addi r2, r0, 99\n\
+             over: halt\n",
+            vec![0],
+        );
+        assert_eq!(result.regs[2], 1);
+    }
+
+    #[test]
+    fn memory_faults_are_reported() {
+        let program = assemble("lw r1, r0, 100\nhalt\n").unwrap();
+        let err = Iss::new(program, vec![0; 4]).run(100).unwrap_err();
+        assert!(matches!(err, IssError::AddressOutOfRange { addr: 100 }));
+    }
+
+    #[test]
+    fn instruction_limit_is_enforced() {
+        let program = assemble("loop: jmp loop\n").unwrap();
+        let err = Iss::new(program, vec![]).run(50).unwrap_err();
+        assert!(matches!(err, IssError::InstructionLimit { limit: 50 }));
+    }
+
+    #[test]
+    fn falling_off_the_program_is_an_error() {
+        let program = assemble("nop\n").unwrap();
+        let mut iss = Iss::new(program, vec![]);
+        iss.step().unwrap();
+        let err = iss.step().unwrap_err();
+        assert!(matches!(err, IssError::PcOutOfRange { pc: 1 }));
+    }
+}

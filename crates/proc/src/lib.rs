@@ -1,0 +1,51 @@
+//! # wp-proc — the case-study processor of the DATE'05 wire-pipelining paper
+//!
+//! The paper evaluates its methodology on "a processor made out of five
+//! components": a control unit (CU), an instruction memory (IC), a data
+//! memory (DC), a register file (RF) and an ALU, connected by the channels of
+//! fig. 1 and exercised by two programs (extraction sort and matrix
+//! multiplication) in two organisations (multicycle and pipelined).
+//!
+//! This crate recreates that processor on top of the latency-insensitive
+//! machinery of `wp-core`/`wp-sim`:
+//!
+//! * [`isa`] / [`assemble`] / [`Iss`] — a minimal ISA, its assembler and an
+//!   architectural reference simulator;
+//! * [`programs`] — generators for the two benchmark workloads;
+//! * [`blocks`] — the five IP blocks, each a [`wp_core::Process`] with the
+//!   oracle (communication profile) the paper's WP2 wrapper exploits;
+//! * [`build_soc`] / [`run_golden_soc`] / [`run_wp_soc`] — assembly of the
+//!   fig. 1 netlist and run helpers used by the experiment harness.
+//!
+//! ```no_run
+//! use wp_core::SyncPolicy;
+//! use wp_proc::{extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig};
+//!
+//! let workload = extraction_sort(16, 42)?;
+//! let golden = run_golden_soc(&workload, Organization::Pipelined, 1_000_000)?;
+//! let rs = RsConfig::single(Link::RfDc, 1);
+//! let wp2 = run_wp_soc(&workload, Organization::Pipelined, &rs, SyncPolicy::Oracle, 1_000_000)?;
+//! println!("Th = {:.3}", wp2.throughput_vs(golden.cycles));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod asm;
+pub mod blocks;
+pub mod isa;
+mod iss;
+mod msg;
+pub mod programs;
+mod soc;
+
+pub use asm::{assemble, AsmError};
+pub use blocks::{Alu, ControlUnit, DataMem, InstrMem, Organization, RegFile};
+pub use iss::{Iss, IssError, IssResult};
+pub use msg::{AluCmd, MemKind, Msg, RegCmd};
+pub use programs::{extraction_sort, matrix_multiply, Workload};
+pub use soc::{
+    build_soc, run_golden_soc, run_wp_soc, Link, RsConfig, RunOutcome, SocError, ALU, CU, DC, IC,
+    RF,
+};

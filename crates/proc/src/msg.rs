@@ -1,0 +1,142 @@
+//! Messages exchanged on the channels of the case-study processor.
+//!
+//! Every channel of fig. 1 carries values of the single [`Msg`] type; a
+//! firing that has nothing meaningful to transmit sends [`Msg::Bubble`]
+//! (which is still a *valid* token — the void symbol τ only appears once the
+//! system is wire pipelined and a block stalls).
+
+use crate::isa::{AluOp, Reg};
+
+/// Register-file command sent by the control unit (channel CU→RF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegCmd {
+    /// First register to read (drives operand `a`).
+    pub rs1: Reg,
+    /// Second register to read (drives operand `b`).
+    pub rs2: Reg,
+    /// Register whose value must be driven to the data memory as store data.
+    pub store_reg: Option<Reg>,
+    /// An ALU write-back for this instruction will arrive two firings later.
+    pub expect_alu_wb: bool,
+    /// A load write-back for this instruction will arrive three firings later.
+    pub expect_load_wb: bool,
+}
+
+/// ALU command sent by the control unit (channel CU→ALU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluCmd {
+    /// Operation to perform.
+    pub op: AluOp,
+    /// Destination register of the result (when `writes_reg`).
+    pub dst: Reg,
+    /// When `Some`, replaces the second operand with an immediate.
+    pub imm: Option<i64>,
+    /// Emit a write-back message towards the register file.
+    pub writes_reg: bool,
+    /// Emit the result as an effective address towards the data memory.
+    pub to_mem: bool,
+}
+
+/// Data-memory command sent by the control unit (channel CU→DC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemKind {
+    /// No memory access for this instruction.
+    #[default]
+    None,
+    /// Read a word and write it back to `dst`.
+    Read {
+        /// Destination register of the loaded value.
+        dst: Reg,
+    },
+    /// Write the store data previously captured from the register file.
+    Write,
+}
+
+/// The payload type of every channel of the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Msg {
+    /// Nothing meaningful this firing.
+    #[default]
+    Bubble,
+    /// CU → IC: fetch request.
+    Fetch {
+        /// Instruction address to fetch.
+        addr: u32,
+    },
+    /// IC → CU: fetched instruction word.
+    Instr {
+        /// Encoded instruction word.
+        word: u32,
+    },
+    /// CU → RF: register-file command.
+    RegCmd(RegCmd),
+    /// CU → ALU: operation command.
+    AluCmd(AluCmd),
+    /// CU → DC: memory command.
+    MemCmd(MemKind),
+    /// RF → ALU: the two register operands.
+    Operands {
+        /// First operand (`rs1`).
+        a: i64,
+        /// Second operand (`rs2`).
+        b: i64,
+    },
+    /// RF → DC: the value to store.
+    StoreData {
+        /// Store value.
+        value: i64,
+    },
+    /// ALU → CU: comparison flags of the last executed operation.
+    Flags {
+        /// Result was zero.
+        zero: bool,
+        /// Result was negative.
+        neg: bool,
+    },
+    /// ALU → RF: register write-back.
+    Writeback {
+        /// Destination register.
+        reg: Reg,
+        /// Value to write.
+        value: i64,
+    },
+    /// ALU → DC: effective address of a memory access.
+    EffAddr {
+        /// Word address.
+        addr: i64,
+    },
+    /// DC → RF: loaded value to write back.
+    LoadData {
+        /// Destination register.
+        reg: Reg,
+        /// Loaded value.
+        value: i64,
+    },
+}
+
+impl Msg {
+    /// Returns `true` for [`Msg::Bubble`].
+    pub fn is_bubble(&self) -> bool {
+        matches!(self, Msg::Bubble)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_message_is_bubble() {
+        assert!(Msg::default().is_bubble());
+        assert!(!Msg::Fetch { addr: 0 }.is_bubble());
+    }
+
+    #[test]
+    fn commands_default_to_no_effect() {
+        let cmd = RegCmd::default();
+        assert_eq!(cmd.store_reg, None);
+        assert!(!cmd.expect_alu_wb);
+        assert!(!cmd.expect_load_wb);
+        assert_eq!(MemKind::default(), MemKind::None);
+    }
+}

@@ -1,0 +1,222 @@
+//! The benchmark programs of the paper.
+//!
+//! Two kernels "cover the spectrum of applications": a strictly
+//! data-dependent problem (extraction/selection sort) and a regular one
+//! (matrix multiplication).  Each generator returns the assembly source, the
+//! assembled program and the initial data memory, plus a checker for the
+//! expected result.
+
+use crate::asm::{assemble, AsmError};
+use crate::isa::Instr;
+
+/// A ready-to-run benchmark: program, initial memory and expected final
+/// memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Human-readable name ("extraction_sort", "matrix_multiply").
+    pub name: String,
+    /// The assembly source the program was built from.
+    pub source: String,
+    /// The assembled program.
+    pub program: Vec<Instr>,
+    /// Initial data-memory contents.
+    pub memory: Vec<i64>,
+    /// The expected data-memory contents after a correct run.
+    pub expected_memory: Vec<i64>,
+}
+
+impl Workload {
+    /// Returns `true` when `memory` matches the expected final contents.
+    pub fn check(&self, memory: &[i64]) -> bool {
+        memory == self.expected_memory.as_slice()
+    }
+}
+
+/// Deterministic pseudo-random values used to fill the sort input (a simple
+/// linear congruential generator so the workload does not depend on external
+/// crates or global state).
+fn lcg_values(n: usize, seed: u64) -> Vec<i64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as i64
+        })
+        .collect()
+}
+
+/// Builds the extraction-sort (selection sort) workload over `n` elements.
+///
+/// The array lives at data addresses `0..n` and is sorted in place in
+/// ascending order.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] only if the generated source fails to assemble
+/// (which would be a bug in the generator).
+pub fn extraction_sort(n: usize, seed: u64) -> Result<Workload, AsmError> {
+    let values = lcg_values(n, seed);
+    let mut expected = values.clone();
+    expected.sort_unstable();
+
+    // Register allocation:
+    //   r1 = i, r2 = j, r3 = min_idx, r4 = min_val, r5 = tmp, r6 = n
+    let source = format!(
+        "        addi r6, r0, {n}\n\
+         \x20       addi r1, r0, 0\n\
+         outer:  addi r5, r6, -1\n\
+         \x20       bge  r1, r5, end\n\
+         \x20       add  r3, r1, r0\n\
+         \x20       lw   r4, r1, 0\n\
+         \x20       addi r2, r1, 1\n\
+         inner:  bge  r2, r6, swap\n\
+         \x20       lw   r5, r2, 0\n\
+         \x20       bge  r5, r4, skip\n\
+         \x20       add  r4, r5, r0\n\
+         \x20       add  r3, r2, r0\n\
+         skip:   addi r2, r2, 1\n\
+         \x20       jmp  inner\n\
+         swap:   lw   r5, r1, 0\n\
+         \x20       sw   r4, r1, 0\n\
+         \x20       sw   r5, r3, 0\n\
+         \x20       addi r1, r1, 1\n\
+         \x20       jmp  outer\n\
+         end:    halt\n"
+    );
+    let program = assemble(&source)?;
+    Ok(Workload {
+        name: "extraction_sort".to_string(),
+        source,
+        program,
+        memory: values,
+        expected_memory: expected,
+    })
+}
+
+/// Builds the `n × n` matrix-multiplication workload `C = A × B`.
+///
+/// `A` lives at addresses `0..n²`, `B` at `n²..2n²` and `C` at `2n²..3n²`.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] only if the generated source fails to assemble.
+pub fn matrix_multiply(n: usize, seed: u64) -> Result<Workload, AsmError> {
+    let nn = n * n;
+    let a = lcg_values(nn, seed);
+    let b = lcg_values(nn, seed.wrapping_add(17));
+    let mut memory = Vec::with_capacity(3 * nn);
+    memory.extend_from_slice(&a);
+    memory.extend_from_slice(&b);
+    memory.extend(std::iter::repeat(0).take(nn));
+
+    let mut expected = memory.clone();
+    for i in 0..n {
+        for j in 0..n {
+            let mut sum = 0i64;
+            for k in 0..n {
+                sum += a[i * n + k] * b[k * n + j];
+            }
+            expected[2 * nn + i * n + j] = sum;
+        }
+    }
+
+    // Register allocation:
+    //   r1 = i, r2 = j, r3 = k, r4 = sum, r7 = A[i][k], r8 = B[k][j],
+    //   r9 = n, r10 = tmp, r11 = n*n, r12 = 2*n*n
+    let source = format!(
+        "        addi r9, r0, {n}\n\
+         \x20       mul  r11, r9, r9\n\
+         \x20       add  r12, r11, r11\n\
+         \x20       addi r1, r0, 0\n\
+         iloop:  bge  r1, r9, end\n\
+         \x20       addi r2, r0, 0\n\
+         jloop:  bge  r2, r9, inext\n\
+         \x20       addi r4, r0, 0\n\
+         \x20       addi r3, r0, 0\n\
+         kloop:  bge  r3, r9, store\n\
+         \x20       mul  r10, r1, r9\n\
+         \x20       add  r10, r10, r3\n\
+         \x20       lw   r7, r10, 0\n\
+         \x20       mul  r10, r3, r9\n\
+         \x20       add  r10, r10, r2\n\
+         \x20       add  r10, r10, r11\n\
+         \x20       lw   r8, r10, 0\n\
+         \x20       mul  r10, r7, r8\n\
+         \x20       add  r4, r4, r10\n\
+         \x20       addi r3, r3, 1\n\
+         \x20       jmp  kloop\n\
+         store:  mul  r10, r1, r9\n\
+         \x20       add  r10, r10, r2\n\
+         \x20       add  r10, r10, r12\n\
+         \x20       sw   r4, r10, 0\n\
+         \x20       addi r2, r2, 1\n\
+         \x20       jmp  jloop\n\
+         inext:  addi r1, r1, 1\n\
+         \x20       jmp  iloop\n\
+         end:    halt\n"
+    );
+    let program = assemble(&source)?;
+    Ok(Workload {
+        name: "matrix_multiply".to_string(),
+        source,
+        program,
+        memory,
+        expected_memory: expected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iss::Iss;
+
+    #[test]
+    fn sort_workload_is_correct_on_the_iss() {
+        for n in [1usize, 2, 5, 16] {
+            let wl = extraction_sort(n, 42).unwrap();
+            let result = Iss::new(wl.program.clone(), wl.memory.clone())
+                .run(5_000_000)
+                .unwrap();
+            assert!(wl.check(&result.memory), "sort of {n} elements");
+        }
+    }
+
+    #[test]
+    fn matmul_workload_is_correct_on_the_iss() {
+        for n in [1usize, 2, 3, 5] {
+            let wl = matrix_multiply(n, 7).unwrap();
+            let result = Iss::new(wl.program.clone(), wl.memory.clone())
+                .run(5_000_000)
+                .unwrap();
+            assert!(wl.check(&result.memory), "matmul {n}x{n}");
+        }
+    }
+
+    #[test]
+    fn sort_input_is_not_already_sorted() {
+        let wl = extraction_sort(16, 1).unwrap();
+        assert_ne!(wl.memory, wl.expected_memory);
+        assert_eq!(wl.memory.len(), 16);
+    }
+
+    #[test]
+    fn matmul_layout_is_three_matrices() {
+        let n = 3;
+        let wl = matrix_multiply(n, 1).unwrap();
+        assert_eq!(wl.memory.len(), 3 * n * n);
+        // The C region starts zeroed and is filled by the program.
+        assert!(wl.memory[2 * n * n..].iter().all(|&v| v == 0));
+        assert!(wl.expected_memory[2 * n * n..].iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn workloads_are_deterministic_for_a_seed() {
+        assert_eq!(extraction_sort(8, 3).unwrap(), extraction_sort(8, 3).unwrap());
+        assert_ne!(
+            extraction_sort(8, 3).unwrap().memory,
+            extraction_sort(8, 4).unwrap().memory
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! The golden simulator: the original, un-pipelined synchronous system.
+//!
+//! Every process fires every clock cycle and every channel behaves as a plain
+//! registered wire (the consumer sees, at cycle *t*, the value the producer
+//! presented at cycle *t*).  The golden run defines both the reference cycle
+//! count used to compute wire-pipelined throughput and the reference channel
+//! realisations used by the equivalence check.
+
+use wp_core::{ChannelTrace, Process, Token};
+
+use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
+
+/// The golden (zero relay station, always-firing) simulator.
+pub struct GoldenSimulator<V> {
+    processes: Vec<Box<dyn Process<V>>>,
+    channels: Vec<ChannelSpec>,
+    traces: Vec<ChannelTrace<V>>,
+    trace_enabled: bool,
+    cycles: u64,
+}
+
+impl<V> std::fmt::Debug for GoldenSimulator<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GoldenSimulator")
+            .field("processes", &self.processes.len())
+            .field("channels", &self.channels.len())
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+impl<V: Clone + PartialEq> GoldenSimulator<V> {
+    /// Builds the golden simulator from a validated system description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSystem`] when the description is not fully
+    /// and consistently connected.
+    pub fn new(builder: SystemBuilder<V>) -> Result<Self, SimError> {
+        builder.validate()?;
+        let (processes, channels) = builder.into_parts();
+        let traces = channels
+            .iter()
+            .map(|c| ChannelTrace::new(c.name.clone()))
+            .collect();
+        Ok(Self {
+            processes,
+            channels,
+            traces,
+            trace_enabled: true,
+            cycles: 0,
+        })
+    }
+
+    /// Enables or disables channel-trace recording (enabled by default).
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// Number of cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The recorded channel traces (one per channel, in channel order).
+    pub fn traces(&self) -> &[ChannelTrace<V>] {
+        &self.traces
+    }
+
+    /// Immutable access to a process (e.g. to read architectural state after
+    /// the run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn process(&self, id: ProcessId) -> &dyn Process<V> {
+        self.processes[id].as_ref()
+    }
+
+    /// Returns `true` when the given process reports a halted state.
+    pub fn is_halted(&self, id: ProcessId) -> bool {
+        self.processes[id].is_halted()
+    }
+
+    /// Simulates one clock cycle: every channel transports the value its
+    /// producer currently presents and every process fires.
+    pub fn step(&mut self) {
+        // Phase 1: sample every channel from the producers' current outputs.
+        let values: Vec<V> = self
+            .channels
+            .iter()
+            .map(|c| self.processes[c.src].output(c.src_port))
+            .collect();
+        if self.trace_enabled {
+            for (trace, v) in self.traces.iter_mut().zip(values.iter()) {
+                trace.record(Token::Valid(v.clone()));
+            }
+        }
+        // Phase 2: deliver and fire.
+        let mut inputs: Vec<Vec<Option<V>>> = self
+            .processes
+            .iter()
+            .map(|p| vec![None; p.num_inputs()])
+            .collect();
+        for (c, v) in self.channels.iter().zip(values.into_iter()) {
+            inputs[c.dst][c.dst_port] = Some(v);
+        }
+        for (p, ins) in self.processes.iter_mut().zip(inputs.iter()) {
+            p.fire(ins);
+        }
+        self.cycles += 1;
+    }
+
+    /// Runs until the process `halt_on` reports [`Process::is_halted`] or the
+    /// cycle limit is reached, and returns the number of cycles executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MaxCyclesExceeded`] when the limit is hit first.
+    pub fn run_until_halt(&mut self, halt_on: ProcessId, max_cycles: u64) -> Result<u64, SimError> {
+        while !self.processes[halt_on].is_halted() {
+            if self.cycles >= max_cycles {
+                return Err(SimError::MaxCyclesExceeded { max_cycles });
+            }
+            self.step();
+        }
+        Ok(self.cycles)
+    }
+
+    /// Runs for exactly `cycles` additional cycles.
+    pub fn run_for(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{Forward, Terminator};
+    use wp_core::SequenceSource;
+
+    /// src -> fwd -> term: a fully connected, halting pipeline.
+    fn halting_pipeline() -> SystemBuilder<u64> {
+        let mut b = SystemBuilder::new();
+        let src = b.add_process(Box::new(SequenceSource::new("src", vec![1, 2, 3, 4], 0)));
+        let fwd = b.add_process(Box::new(Forward::new("fwd")));
+        let term = b.add_process(Box::new(Terminator::new("term")));
+        b.connect("src_fwd", src, 0, fwd, 0, 0);
+        b.connect("fwd_term", fwd, 0, term, 0, 0);
+        b
+    }
+
+    /// Two forwarding blocks in a loop (never halts).
+    fn ring() -> SystemBuilder<u64> {
+        let mut b = SystemBuilder::new();
+        let f1 = b.add_process(Box::new(Forward::new("f1")));
+        let f2 = b.add_process(Box::new(Forward::new("f2")));
+        b.connect("f1_f2", f1, 0, f2, 0, 0);
+        b.connect("f2_f1", f2, 0, f1, 0, 0);
+        b
+    }
+
+    #[test]
+    fn unconnected_port_is_rejected() {
+        let mut b = SystemBuilder::new();
+        b.add_process(Box::new(Forward::new("lonely")));
+        assert!(GoldenSimulator::new(b).is_err());
+    }
+
+    #[test]
+    fn golden_fires_every_process_every_cycle() {
+        let mut sim = GoldenSimulator::new(ring()).unwrap();
+        sim.run_for(5);
+        assert_eq!(sim.cycles(), 5);
+        assert_eq!(sim.traces().len(), 2);
+        assert_eq!(sim.traces()[0].len(), 5);
+        // In the golden system every cycle carries an informative token.
+        assert_eq!(sim.traces()[0].valid_count(), 5);
+    }
+
+    #[test]
+    fn halting_run_reports_cycle_count() {
+        let mut sim = GoldenSimulator::new(halting_pipeline()).unwrap();
+        let cycles = sim.run_until_halt(0, 1000).unwrap();
+        // The source halts after emitting its 4 values (one per cycle).
+        assert_eq!(cycles, 4);
+        assert!(sim.is_halted(0));
+        // The values observed on src_fwd are the emitted sequence.
+        assert_eq!(sim.traces()[0].filtered(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn terminator_receives_values_with_pipeline_latency() {
+        let mut sim = GoldenSimulator::new(halting_pipeline()).unwrap();
+        sim.run_for(6);
+        // fwd_term lags src_fwd by one firing (Forward resets to 0).
+        assert_eq!(sim.traces()[1].filtered(), vec![0, 1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn max_cycles_guard_triggers() {
+        let mut sim = GoldenSimulator::new(ring()).unwrap();
+        let err = sim.run_until_halt(0, 10).unwrap_err();
+        assert!(matches!(err, SimError::MaxCyclesExceeded { max_cycles: 10 }));
+        assert_eq!(sim.cycles(), 10);
+    }
+
+    #[test]
+    fn trace_recording_can_be_disabled() {
+        let mut sim = GoldenSimulator::new(ring()).unwrap();
+        sim.set_trace_enabled(false);
+        sim.run_for(3);
+        assert_eq!(sim.traces()[0].len(), 0);
+        assert_eq!(sim.cycles(), 3);
+    }
+
+    #[test]
+    fn process_accessor_exposes_state() {
+        let sim = GoldenSimulator::new(halting_pipeline()).unwrap();
+        assert_eq!(sim.process(1).name(), "fwd");
+    }
+}

@@ -1,0 +1,154 @@
+//! Small synthetic processes shared by the unit tests of this crate.
+
+use wp_core::{PortSet, Process};
+
+/// Forwards its single input to its single output with one firing of latency.
+#[derive(Debug, Clone)]
+pub(crate) struct Forward {
+    name: String,
+    held: u64,
+}
+
+impl Forward {
+    pub(crate) fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            held: 0,
+        }
+    }
+}
+
+impl Process<u64> for Forward {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.held
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        if let Some(v) = inputs[0] {
+            self.held = v;
+        }
+    }
+    fn reset(&mut self) {
+        self.held = 0;
+    }
+}
+
+/// Consumes its single input and produces nothing (no output port).
+#[derive(Debug, Clone)]
+pub(crate) struct Terminator {
+    name: String,
+    received: Vec<u64>,
+}
+
+impl Terminator {
+    pub(crate) fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            received: Vec::new(),
+        }
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn received(&self) -> &[u64] {
+        &self.received
+    }
+}
+
+impl Process<u64> for Terminator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn output(&self, port: usize) -> u64 {
+        panic!("terminator has no output port {port}")
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        if let Some(v) = inputs[0] {
+            self.received.push(v);
+        }
+    }
+    fn reset(&mut self) {
+        self.received.clear();
+    }
+}
+
+/// A block in a ring that increments the value it receives and forwards it.
+/// Its oracle optionally skips the input on a periodic schedule, which models
+/// a loop that is not exercised by every computation.
+#[derive(Debug, Clone)]
+pub(crate) struct RingStage {
+    name: String,
+    value: u64,
+    fires: u64,
+    /// When `Some(p)`, the input is required only on firings that are
+    /// multiples of `p`; otherwise on every firing.
+    skip_period: Option<u64>,
+}
+
+impl RingStage {
+    pub(crate) fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            value: 0,
+            fires: 0,
+            skip_period: None,
+        }
+    }
+
+    pub(crate) fn with_skip_period(mut self, period: u64) -> Self {
+        self.skip_period = Some(period);
+        self
+    }
+}
+
+impl Process<u64> for RingStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.value
+    }
+    fn required_inputs(&self) -> PortSet {
+        match self.skip_period {
+            Some(p) if self.fires % p != 0 => PortSet::empty(),
+            _ => PortSet::all(1),
+        }
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        let needed = match self.skip_period {
+            Some(p) if self.fires % p != 0 => false,
+            _ => true,
+        };
+        if needed {
+            if let Some(v) = inputs[0] {
+                self.value = v + 1;
+            }
+        } else {
+            self.value += 1;
+        }
+        self.fires += 1;
+    }
+    fn reset(&mut self) {
+        self.value = 0;
+        self.fires = 0;
+    }
+}

@@ -1,0 +1,87 @@
+//! The full "wire pipelined SoC" methodology, end to end:
+//!
+//! 1. describe the five blocks physically and place them with the
+//!    throughput-aware annealer;
+//! 2. derive the relay-station budget of every link from the wire delays;
+//! 3. predict the WP1 throughput with the loop law;
+//! 4. simulate both WP1 and WP2 implementations of the sort workload and
+//!    compare with the prediction.
+//!
+//! Run with `cargo run --example floorplan_flow --release`.
+
+use wp_core::SyncPolicy;
+use wp_floorplan::{anneal, AnnealConfig, Block, Floorplan, WireModel};
+use wp_netlist::predicted_throughput;
+use wp_proc::{
+    build_soc, extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const MAX_CYCLES: u64 = 5_000_000;
+    let workload = extraction_sort(16, 42)?;
+    let organization = Organization::Pipelined;
+
+    // Physical view of the SoC: block sizes in mm on a 14x14 mm die, 1 ns
+    // clock (a deliberately wire-dominated design point).
+    let mut fp = Floorplan::new(14.0, 14.0);
+    for (name, w, h) in [
+        ("CU", 2.0, 2.0),
+        ("IC", 5.0, 5.0),
+        ("RF", 2.0, 3.0),
+        ("ALU", 3.0, 3.0),
+        ("DC", 5.0, 5.0),
+    ] {
+        fp.add_block(Block::new(name, w, h));
+    }
+    let model = WireModel::nm130(1.0);
+    let net = build_soc(&workload, organization, &RsConfig::ideal()).to_netlist();
+
+    let result = anneal(&fp, &net, &model, &AnnealConfig::default());
+    println!("placement after annealing:");
+    for (i, block) in fp.blocks().iter().enumerate() {
+        let (x, y) = result.placement.position(i);
+        println!("  {:<4} at ({x:5.2}, {y:5.2}) mm", block.name());
+    }
+    println!(
+        "total wire length {:.1} mm, predicted WP1 throughput {:.3}\n",
+        result.wire_length, result.predicted_throughput
+    );
+
+    // Translate the per-channel budget into the per-link configuration used
+    // by the processor experiments (a link takes the worst of its wires).
+    let budget = fp.relay_station_budget(&net, &result.placement, &model);
+    let mut rs = RsConfig::ideal();
+    for link in Link::ALL {
+        let needed = link
+            .channel_names()
+            .iter()
+            .filter_map(|name| net.find_edge(name))
+            .map(|e| budget[e.index()])
+            .max()
+            .unwrap_or(0);
+        rs.set(link, needed);
+    }
+    println!("relay-station budget per link:");
+    for link in Link::ALL {
+        println!("  {:<8} {}", link.label(), rs.get(link));
+    }
+
+    let law = predicted_throughput(&build_soc(&workload, organization, &rs).to_netlist());
+    let golden = run_golden_soc(&workload, organization, MAX_CYCLES)?;
+    let wp1 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Strict, MAX_CYCLES)?;
+    let wp2 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Oracle, MAX_CYCLES)?;
+    println!("\ngolden cycles {}", golden.cycles);
+    println!(
+        "WP1: {} cycles, Th {:.3} (loop law predicts {law:.3})",
+        wp1.cycles,
+        wp1.throughput_vs(golden.cycles)
+    );
+    println!(
+        "WP2: {} cycles, Th {:.3}",
+        wp2.cycles,
+        wp2.throughput_vs(golden.cycles)
+    );
+    assert!(workload.check(&wp1.memory[..workload.expected_memory.len()]));
+    assert!(workload.check(&wp2.memory[..workload.expected_memory.len()]));
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Programmatic version of the matrix-multiply half of Table 1: sweeps the
+//! number of relay stations on one link at a time and reports how far the
+//! oracle wrappers (WP2) can push the throughput beyond the m/(m+n) bound
+//! that limits the classical wrappers (WP1).
+//!
+//! Run with `cargo run --example matmul_sweep --release` (a couple of seconds
+//! in release mode).
+
+use wp_core::SyncPolicy;
+use wp_netlist::predicted_throughput;
+use wp_proc::{
+    build_soc, matrix_multiply, run_golden_soc, run_wp_soc, Link, Organization, RsConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const MAX_CYCLES: u64 = 20_000_000;
+    let workload = matrix_multiply(4, 7)?;
+    let organization = Organization::Pipelined;
+    let golden = run_golden_soc(&workload, organization, MAX_CYCLES)?;
+    println!(
+        "golden 4x4 matrix multiply: {} instructions, {} cycles\n",
+        golden.instructions, golden.cycles
+    );
+
+    println!(
+        "{:<10} {:>4} {:>9} {:>8} {:>8} {:>12}",
+        "link", "RS", "law WP1", "Th WP1", "Th WP2", "WP2 vs WP1"
+    );
+    for link in [Link::RfDc, Link::AluRf, Link::AluDc, Link::CuIc] {
+        for n_rs in 1..=3usize {
+            let rs = RsConfig::single(link, n_rs);
+            let law = predicted_throughput(&build_soc(&workload, organization, &rs).to_netlist());
+            let wp1 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Strict, MAX_CYCLES)?;
+            let wp2 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Oracle, MAX_CYCLES)?;
+            assert!(workload.check(&wp1.memory));
+            assert!(workload.check(&wp2.memory));
+            let th1 = wp1.throughput_vs(golden.cycles);
+            let th2 = wp2.throughput_vs(golden.cycles);
+            println!(
+                "{:<10} {n_rs:>4} {law:>9.3} {th1:>8.3} {th2:>8.3} {:>+11.0}%",
+                link.label(),
+                100.0 * (th2 - th1) / th1
+            );
+        }
+    }
+    Ok(())
+}

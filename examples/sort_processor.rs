@@ -1,0 +1,55 @@
+//! Runs the extraction-sort workload of the paper on the five-block
+//! processor, sweeping a few relay-station configurations and comparing the
+//! classical latency-insensitive wrappers (WP1) with the oracle wrappers
+//! (WP2).
+//!
+//! Run with `cargo run --example sort_processor`.
+
+use wp_core::{check_equivalence, SyncPolicy};
+use wp_proc::{extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const MAX_CYCLES: u64 = 5_000_000;
+    let workload = extraction_sort(16, 42)?;
+    let organization = Organization::Pipelined;
+
+    let golden = run_golden_soc(&workload, organization, MAX_CYCLES)?;
+    println!(
+        "golden pipelined run: {} instructions in {} cycles",
+        golden.instructions, golden.cycles
+    );
+    println!("sorted result: {:?}\n", &golden.memory[..workload.expected_memory.len()]);
+    assert!(workload.check(&golden.memory[..workload.expected_memory.len()]));
+
+    let configs = [
+        ("All 0 (ideal)", RsConfig::ideal()),
+        ("Only RF-DC", RsConfig::single(Link::RfDc, 1)),
+        ("Only CU-IC", RsConfig::single(Link::CuIc, 1)),
+        ("All 1 (no CU-IC)", RsConfig::uniform(1, &[Link::CuIc])),
+    ];
+
+    println!(
+        "{:<18} {:>10} {:>10} {:>8} {:>8} {:>12}",
+        "configuration", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2", "WP2 vs WP1"
+    );
+    for (label, rs) in configs {
+        let wp1 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Strict, MAX_CYCLES)?;
+        let wp2 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Oracle, MAX_CYCLES)?;
+
+        // The wire-pipelined runs must produce the same sorted array and the
+        // same channel realisations as the golden system.
+        assert!(workload.check(&wp1.memory[..workload.expected_memory.len()]));
+        assert!(workload.check(&wp2.memory[..workload.expected_memory.len()]));
+        assert!(check_equivalence(&golden.traces, &wp2.traces).is_equivalent());
+
+        let th1 = wp1.throughput_vs(golden.cycles);
+        let th2 = wp2.throughput_vs(golden.cycles);
+        println!(
+            "{label:<18} {:>10} {:>10} {th1:>8.3} {th2:>8.3} {:>+11.0}%",
+            wp1.cycles,
+            wp2.cycles,
+            if th1 > 0.0 { 100.0 * (th2 - th1) / th1 } else { 0.0 }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Integration tests of the loop throughput law on synthetic rings, spanning
+//! `wp-core`, `wp-sim` and `wp-netlist`.
+
+use wp_core::{PortSet, Process, ShellConfig};
+use wp_netlist::{analyze_loops, loop_throughput, Netlist};
+use wp_sim::{LidSimulator, SystemBuilder};
+
+/// A ring stage that increments and forwards; the first stage optionally
+/// needs its loop input only every `period`-th firing.
+#[derive(Debug, Clone)]
+struct Stage {
+    name: String,
+    value: u64,
+    fires: u64,
+    period: Option<u64>,
+}
+
+impl Stage {
+    fn new(name: String, period: Option<u64>) -> Self {
+        Self {
+            name,
+            value: 0,
+            fires: 0,
+            period,
+        }
+    }
+    fn needs_input(&self) -> bool {
+        match self.period {
+            Some(p) => self.fires % p == 0,
+            None => true,
+        }
+    }
+}
+
+impl Process<u64> for Stage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&self, _p: usize) -> u64 {
+        self.value
+    }
+    fn required_inputs(&self) -> PortSet {
+        if self.needs_input() {
+            PortSet::all(1)
+        } else {
+            PortSet::empty()
+        }
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        if self.needs_input() {
+            if let Some(v) = inputs[0] {
+                self.value = v + 1;
+            }
+        } else {
+            self.value += 1;
+        }
+        self.fires += 1;
+    }
+    fn reset(&mut self) {
+        self.value = 0;
+        self.fires = 0;
+    }
+}
+
+fn ring(stages: usize, rs_on_first: usize, period: Option<u64>) -> SystemBuilder<u64> {
+    let mut b = SystemBuilder::new();
+    let ids: Vec<_> = (0..stages)
+        .map(|i| {
+            b.add_process(Box::new(Stage::new(
+                format!("s{i}"),
+                if i == 0 { period } else { None },
+            )))
+        })
+        .collect();
+    for i in 0..stages {
+        b.connect(
+            format!("e{i}"),
+            ids[i],
+            0,
+            ids[(i + 1) % stages],
+            0,
+            if i == 0 { rs_on_first } else { 0 },
+        );
+    }
+    b
+}
+
+fn measure(stages: usize, rs: usize, period: Option<u64>, config: ShellConfig) -> f64 {
+    let mut sim = LidSimulator::new(ring(stages, rs, period), config).unwrap();
+    sim.set_trace_enabled(false);
+    let firings = 600;
+    sim.run_until_firings(0, firings, 200_000).unwrap();
+    firings as f64 / sim.cycles() as f64
+}
+
+#[test]
+fn strict_rings_match_the_law_and_the_netlist_analysis() {
+    for (m, n) in [(1usize, 1usize), (2, 1), (3, 2), (5, 3)] {
+        let measured = measure(m, n, None, ShellConfig::strict());
+        let law = loop_throughput(m, n);
+        assert!(
+            (measured - law).abs() < 0.02,
+            "m={m} n={n}: measured {measured:.3}, law {law:.3}"
+        );
+
+        // The same number comes out of the graph-level analysis.
+        let builder = ring(m, n, None);
+        let analysis = analyze_loops(&builder.to_netlist(), 1000);
+        assert!((analysis.system_throughput() - law).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn oracle_throughput_interpolates_between_law_and_ideal() {
+    // The more rarely the loop is exercised, the closer WP2 gets to 1.0.
+    let mut last = 0.0;
+    for period in [1u64, 2, 4, 8] {
+        let th = measure(2, 1, Some(period), ShellConfig::oracle());
+        assert!(th >= loop_throughput(2, 1) - 0.02);
+        assert!(th <= 1.0 + 1e-9);
+        assert!(th >= last - 0.02, "throughput should grow with the period");
+        last = th;
+    }
+    assert!(last > 0.85, "rarely exercised loops approach Th = 1");
+}
+
+#[test]
+fn acyclic_netlists_are_not_limited_by_relay_stations() {
+    let mut net = Netlist::new();
+    let a = net.add_node("A");
+    let b = net.add_node("B");
+    let e = net.add_edge("ab", a, b);
+    net.set_relay_stations(e, 10);
+    assert_eq!(analyze_loops(&net, 100).system_throughput(), 1.0);
+}

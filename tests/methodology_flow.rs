@@ -1,0 +1,108 @@
+//! Integration test of the end-to-end methodology: floorplan → wire delays →
+//! relay-station budget → throughput prediction → simulation, plus the area
+//! overhead bound.  Spans `wp-floorplan`, `wp-netlist`, `wp-proc`, `wp-sim`
+//! and `wp-area`.
+
+use wp_area::{case_study_overhead_sweep, CellLibrary};
+use wp_core::SyncPolicy;
+use wp_floorplan::{anneal, AnnealConfig, Block, Floorplan, WireModel};
+use wp_proc::{
+    build_soc, extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig,
+};
+
+const MAX_CYCLES: u64 = 5_000_000;
+
+fn case_study_floorplan() -> Floorplan {
+    let mut fp = Floorplan::new(14.0, 14.0);
+    for (name, w, h) in [
+        ("CU", 2.0, 2.0),
+        ("IC", 5.0, 5.0),
+        ("RF", 2.0, 3.0),
+        ("ALU", 3.0, 3.0),
+        ("DC", 5.0, 5.0),
+    ] {
+        fp.add_block(Block::new(name, w, h));
+    }
+    fp
+}
+
+#[test]
+fn floorplan_driven_relay_budget_runs_and_respects_the_prediction() {
+    let workload = extraction_sort(8, 1).unwrap();
+    let organization = Organization::Pipelined;
+    let fp = case_study_floorplan();
+    let model = WireModel::nm130(1.0);
+    let net = build_soc(&workload, organization, &RsConfig::ideal()).to_netlist();
+
+    let config = AnnealConfig {
+        iterations: 300,
+        ..AnnealConfig::default()
+    };
+    let result = anneal(&fp, &net, &model, &config);
+    assert!(!fp.has_overlap(&result.placement));
+
+    // Translate the per-channel budget into a per-link configuration.
+    let budget = fp.relay_station_budget(&net, &result.placement, &model);
+    let mut rs = RsConfig::ideal();
+    for link in Link::ALL {
+        let needed = link
+            .channel_names()
+            .iter()
+            .filter_map(|name| net.find_edge(name))
+            .map(|e| budget[e.index()])
+            .max()
+            .unwrap_or(0);
+        rs.set(link, needed);
+    }
+
+    let golden = run_golden_soc(&workload, organization, MAX_CYCLES).unwrap();
+    let wp1 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Strict, MAX_CYCLES).unwrap();
+    let wp2 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Oracle, MAX_CYCLES).unwrap();
+    assert!(workload.check(&wp1.memory[..workload.expected_memory.len()]));
+    assert!(workload.check(&wp2.memory[..workload.expected_memory.len()]));
+
+    let th1 = wp1.throughput_vs(golden.cycles);
+    let th2 = wp2.throughput_vs(golden.cycles);
+    // The annealer's prediction uses the per-channel budget; the per-link
+    // configuration rounds up, so the measured WP1 throughput may only be
+    // equal or lower — but never higher than the law for its own netlist.
+    let law = wp_netlist::predicted_throughput(
+        &build_soc(&workload, organization, &rs).to_netlist(),
+    );
+    assert!(th1 <= law + 0.05, "WP1 {th1:.3} should not beat the law {law:.3}");
+    assert!(th2 >= th1 - 1e-9, "WP2 must not lose to WP1");
+}
+
+#[test]
+fn distant_placements_need_more_relay_stations_than_compact_ones() {
+    let fp = case_study_floorplan();
+    let model = WireModel::nm130(1.0);
+    let workload = extraction_sort(4, 1).unwrap();
+    let net = build_soc(&workload, Organization::Pipelined, &RsConfig::ideal()).to_netlist();
+
+    let compact = fp.initial_placement();
+    let spread = wp_floorplan::Placement::new(vec![
+        (0.0, 0.0),
+        (9.0, 0.0),
+        (0.0, 9.0),
+        (9.0, 9.0),
+        (5.0, 5.0),
+    ]);
+    let compact_total: usize = fp.relay_station_budget(&net, &compact, &model).iter().sum();
+    let spread_total: usize = fp.relay_station_budget(&net, &spread, &model).iter().sum();
+    assert!(spread_total >= compact_total);
+    assert!(
+        fp.predicted_throughput(&net, &spread, &model)
+            <= fp.predicted_throughput(&net, &compact, &model) + 1e-12
+    );
+}
+
+#[test]
+fn wrapper_overhead_stays_in_the_paper_ballpark() {
+    let reports = case_study_overhead_sweep(&CellLibrary::default());
+    assert!(!reports.is_empty());
+    for r in &reports {
+        assert!(r.overhead_percent < 2.0, "{}: {:.2}%", r.label, r.overhead_percent);
+    }
+    assert!(reports.iter().any(|r| r.overhead_percent < 1.0));
+}

@@ -1,0 +1,95 @@
+//! Cross-crate integration tests: the wire-pipelined implementations of the
+//! case-study processor are functionally equivalent to the original system
+//! and architecturally correct against the instruction-set simulator.
+
+use wp_core::{check_equivalence, SyncPolicy};
+use wp_proc::{
+    extraction_sort, matrix_multiply, run_golden_soc, run_wp_soc, Iss, Link, Organization,
+    RsConfig, Workload,
+};
+
+const MAX_CYCLES: u64 = 5_000_000;
+
+fn check_all_policies(workload: &Workload, org: Organization, rs: &RsConfig) {
+    let golden = run_golden_soc(workload, org, MAX_CYCLES).expect("golden run");
+    // The block-level golden system must agree with the architectural ISS.
+    let iss = Iss::new(workload.program.clone(), workload.memory.clone())
+        .run(10_000_000)
+        .expect("ISS run");
+    assert_eq!(
+        &golden.memory[..iss.memory.len()],
+        iss.memory.as_slice(),
+        "golden SoC vs ISS ({org:?})"
+    );
+
+    for policy in [SyncPolicy::Strict, SyncPolicy::Oracle] {
+        let wp = run_wp_soc(workload, org, rs, policy, MAX_CYCLES).expect("wp run");
+        assert!(
+            workload.check(&wp.memory[..workload.expected_memory.len()]),
+            "architectural result under {policy:?} / {org:?} / {}",
+            rs.describe()
+        );
+        let report = check_equivalence(&golden.traces, &wp.traces);
+        assert!(
+            report.is_equivalent(),
+            "equivalence under {policy:?} / {org:?} / {}: {report}",
+            rs.describe()
+        );
+        assert!(wp.cycles >= golden.cycles);
+    }
+}
+
+#[test]
+fn sort_is_equivalent_under_single_link_pipelining() {
+    let workload = extraction_sort(8, 42).unwrap();
+    for link in [Link::CuIc, Link::RfDc, Link::AluCu] {
+        check_all_policies(&workload, Organization::Pipelined, &RsConfig::single(link, 1));
+    }
+}
+
+#[test]
+fn sort_is_equivalent_with_relay_stations_everywhere() {
+    let workload = extraction_sort(8, 7).unwrap();
+    for org in [Organization::Multicycle, Organization::Pipelined] {
+        check_all_policies(&workload, org, &RsConfig::uniform(1, &[]));
+        check_all_policies(&workload, org, &RsConfig::uniform(2, &[Link::CuIc]));
+    }
+}
+
+#[test]
+fn matmul_is_equivalent_under_mixed_configurations() {
+    let workload = matrix_multiply(3, 3).unwrap();
+    let mixed = RsConfig::uniform(1, &[Link::CuIc])
+        .with(Link::RfAlu, 2)
+        .with(Link::DcRf, 3);
+    for org in [Organization::Multicycle, Organization::Pipelined] {
+        check_all_policies(&workload, org, &mixed);
+    }
+}
+
+#[test]
+fn ideal_configuration_adds_no_cycles() {
+    let workload = matrix_multiply(2, 9).unwrap();
+    for org in [Organization::Multicycle, Organization::Pipelined] {
+        let golden = run_golden_soc(&workload, org, MAX_CYCLES).unwrap();
+        for policy in [SyncPolicy::Strict, SyncPolicy::Oracle] {
+            let wp = run_wp_soc(&workload, org, &RsConfig::ideal(), policy, MAX_CYCLES).unwrap();
+            assert_eq!(wp.cycles, golden.cycles, "{org:?} {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn instruction_counts_match_between_golden_and_wire_pipelined() {
+    let workload = extraction_sort(6, 5).unwrap();
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES).unwrap();
+    let wp2 = run_wp_soc(
+        &workload,
+        Organization::Pipelined,
+        &RsConfig::uniform(1, &[]),
+        SyncPolicy::Oracle,
+        MAX_CYCLES,
+    )
+    .unwrap();
+    assert_eq!(golden.instructions, wp2.instructions);
+}

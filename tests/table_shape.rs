@@ -1,0 +1,164 @@
+//! Integration tests asserting the qualitative *shape* of the paper's
+//! Table 1: who wins, by roughly what factor, and where the worst links are.
+
+use wp_core::SyncPolicy;
+use wp_netlist::predicted_throughput;
+use wp_proc::{
+    build_soc, extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig,
+};
+
+const MAX_CYCLES: u64 = 5_000_000;
+
+struct Measured {
+    link: Link,
+    th_wp1: f64,
+    th_wp2: f64,
+    law: f64,
+}
+
+fn single_link_sweep(n_rs: usize) -> Vec<Measured> {
+    let workload = extraction_sort(8, 2005).unwrap();
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES).unwrap();
+    Link::ALL
+        .iter()
+        .map(|&link| {
+            let rs = RsConfig::single(link, n_rs);
+            let wp1 = run_wp_soc(
+                &workload,
+                Organization::Pipelined,
+                &rs,
+                SyncPolicy::Strict,
+                MAX_CYCLES,
+            )
+            .unwrap();
+            let wp2 = run_wp_soc(
+                &workload,
+                Organization::Pipelined,
+                &rs,
+                SyncPolicy::Oracle,
+                MAX_CYCLES,
+            )
+            .unwrap();
+            let law = predicted_throughput(
+                &build_soc(&workload, Organization::Pipelined, &rs).to_netlist(),
+            );
+            Measured {
+                link,
+                th_wp1: wp1.throughput_vs(golden.cycles),
+                th_wp2: wp2.throughput_vs(golden.cycles),
+                law,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn wp2_never_loses_to_wp1_and_wp1_follows_the_law() {
+    let rows = single_link_sweep(1);
+    for row in &rows {
+        // Conclusion 1 of the paper: all results are in favour of WP2.
+        assert!(
+            row.th_wp2 >= row.th_wp1 - 1e-9,
+            "{}: WP2 {:.3} < WP1 {:.3}",
+            row.link.label(),
+            row.th_wp2,
+            row.th_wp1
+        );
+        // WP1 is bound by (and in practice sits at) the worst-loop law.
+        assert!(
+            (row.th_wp1 - row.law).abs() < 0.05,
+            "{}: WP1 {:.3} vs law {:.3}",
+            row.link.label(),
+            row.th_wp1,
+            row.law
+        );
+        assert!(row.th_wp2 <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn cu_ic_is_the_most_expensive_link() {
+    let rows = single_link_sweep(1);
+    let cu_ic = rows.iter().find(|r| r.link == Link::CuIc).unwrap();
+    for row in &rows {
+        if row.link != Link::CuIc {
+            assert!(
+                cu_ic.th_wp1 <= row.th_wp1 + 1e-9,
+                "CU-IC should be the worst WP1 link"
+            );
+            assert!(
+                cu_ic.th_wp2 <= row.th_wp2 + 1e-9,
+                "CU-IC should be the worst WP2 link"
+            );
+        }
+    }
+    // Pipelining the fetch loop halves the strict throughput, as in the paper.
+    assert!((cu_ic.th_wp1 - 0.5).abs() < 0.03);
+}
+
+#[test]
+fn datapath_links_recover_most_of_the_throughput_under_wp2() {
+    let rows = single_link_sweep(1);
+    for link in [Link::RfDc, Link::AluDc, Link::DcRf, Link::AluRf, Link::AluCu] {
+        let row = rows.iter().find(|r| r.link == link).unwrap();
+        assert!(
+            row.th_wp2 > 0.85,
+            "{}: WP2 should recover most of the ideal throughput, got {:.3}",
+            link.label(),
+            row.th_wp2
+        );
+        assert!(
+            row.th_wp2 - row.th_wp1 > 0.15,
+            "{}: WP2 should clearly beat WP1, got {:.3} vs {:.3}",
+            link.label(),
+            row.th_wp2,
+            row.th_wp1
+        );
+    }
+}
+
+#[test]
+fn more_relay_stations_cost_more_throughput_under_wp1() {
+    let workload = extraction_sort(8, 2005).unwrap();
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES).unwrap();
+    let mut previous = 1.1;
+    for n in 1..=3usize {
+        let rs = RsConfig::uniform(n, &[Link::CuIc]);
+        let wp1 = run_wp_soc(
+            &workload,
+            Organization::Pipelined,
+            &rs,
+            SyncPolicy::Strict,
+            MAX_CYCLES,
+        )
+        .unwrap();
+        let th = wp1.throughput_vs(golden.cycles);
+        assert!(th < previous, "throughput must decrease with more stations");
+        previous = th;
+    }
+}
+
+#[test]
+fn multicycle_organisation_tolerates_fetch_pipelining_better_under_wp2() {
+    let workload = extraction_sort(8, 2005).unwrap();
+    let rs = RsConfig::single(Link::CuIc, 1);
+    let mut improvements = Vec::new();
+    for org in [Organization::Pipelined, Organization::Multicycle] {
+        let golden = run_golden_soc(&workload, org, MAX_CYCLES).unwrap();
+        let wp1 = run_wp_soc(&workload, org, &rs, SyncPolicy::Strict, MAX_CYCLES).unwrap();
+        let wp2 = run_wp_soc(&workload, org, &rs, SyncPolicy::Oracle, MAX_CYCLES).unwrap();
+        let th1 = wp1.throughput_vs(golden.cycles);
+        let th2 = wp2.throughput_vs(golden.cycles);
+        assert!((th1 - 0.5).abs() < 0.03, "{org:?}: WP1 should sit at 1/2");
+        improvements.push(th2 / th1);
+    }
+    // The multicycle organisation exercises the CU-IC loop only once per
+    // instruction (five phases), so the oracle recovers more there than in
+    // the pipelined organisation — the observation of Section 3.
+    assert!(
+        improvements[1] > improvements[0],
+        "multicycle gain {:.3} should exceed pipelined gain {:.3}",
+        improvements[1],
+        improvements[0]
+    );
+}
