@@ -125,7 +125,7 @@ pub fn relay_station_gates(lib: &CellLibrary, data_width: usize) -> GateCount {
         gates: 2.0 * w * lib.flip_flop     // main + auxiliary registers
             + w * lib.mux2                 // output/bypass mux
             + 2.0 * lib.flip_flop          // valid + stop registers
-            + 2.0 * lib.fsm_state,         // relay-station FSM
+            + 2.0 * lib.fsm_state, // relay-station FSM
     }
 }
 
@@ -148,11 +148,11 @@ pub fn shell_gates(lib: &CellLibrary, params: &ShellParams) -> GateCount {
         } else {
             0.0
         };
-    let per_output = (w + 1.0) * lib.flip_flop;          // output register + valid
+    let per_output = (w + 1.0) * lib.flip_flop; // output register + valid
     let synchroniser = 4.0 * lib.fsm_state
         + (params.inputs as f64) * lib.comparator_bit * 4.0
         + if params.oracle {
-            (params.inputs as f64) * lib.fsm_state       // oracle port-select logic
+            (params.inputs as f64) * lib.fsm_state // oracle port-select logic
         } else {
             0.0
         };

@@ -12,9 +12,7 @@ fn bench_loop_law(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("strict_ring", format!("m{m}_n{n}")),
             &(m, n),
-            |b, &(m, n)| {
-                b.iter(|| measure_ring_throughput(m, n, None, SyncPolicy::Strict, 500))
-            },
+            |b, &(m, n)| b.iter(|| measure_ring_throughput(m, n, None, SyncPolicy::Strict, 500)),
         );
     }
     group.bench_function("oracle_ring_m2_n1_k4", |b| {

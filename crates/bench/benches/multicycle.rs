@@ -18,12 +18,26 @@ fn bench_multicycle(c: &mut Criterion) {
     });
     group.bench_function("wp1_cu_ic", |b| {
         b.iter(|| {
-            run_wp_soc(&workload, Organization::Multicycle, &rs, SyncPolicy::Strict, MAX).unwrap()
+            run_wp_soc(
+                &workload,
+                Organization::Multicycle,
+                &rs,
+                SyncPolicy::Strict,
+                MAX,
+            )
+            .unwrap()
         })
     });
     group.bench_function("wp2_cu_ic", |b| {
         b.iter(|| {
-            run_wp_soc(&workload, Organization::Multicycle, &rs, SyncPolicy::Oracle, MAX).unwrap()
+            run_wp_soc(
+                &workload,
+                Organization::Multicycle,
+                &rs,
+                SyncPolicy::Oracle,
+                MAX,
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -3,6 +3,11 @@
 //! relay-station configurations.  (The paper's metric — clock cycles and
 //! throughput — is printed by the `table1` binary; this bench tracks the
 //! wall-clock cost of regenerating it.)
+//!
+//! The `kernel_vs_naive` group runs the same WP1 configuration through the
+//! allocation-free arena kernel (`LidSimulator`) and through the seed step
+//! (`NaiveSimulator`) and prints the speedup; the refactor's acceptance bar
+//! is ≥ 2x.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wp_core::SyncPolicy;
@@ -27,19 +32,40 @@ fn bench_sort_table(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::new("wp1", label), &rs, |b, rs| {
             b.iter(|| {
-                run_wp_soc(&workload, Organization::Pipelined, rs, SyncPolicy::Strict, MAX)
-                    .unwrap()
+                run_wp_soc(
+                    &workload,
+                    Organization::Pipelined,
+                    rs,
+                    SyncPolicy::Strict,
+                    MAX,
+                )
+                .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("wp2", label), &rs, |b, rs| {
             b.iter(|| {
-                run_wp_soc(&workload, Organization::Pipelined, rs, SyncPolicy::Oracle, MAX)
-                    .unwrap()
+                run_wp_soc(
+                    &workload,
+                    Organization::Pipelined,
+                    rs,
+                    SyncPolicy::Oracle,
+                    MAX,
+                )
+                .unwrap()
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_sort_table);
+/// The focused kernel measurement: identical WP1 run, arena kernel vs the
+/// seed per-cycle-allocating step, traces disabled so only the stepping
+/// strategy differs (shared methodology in `wp_bench::bench_kernel_vs_naive`).
+fn bench_kernel(c: &mut Criterion) {
+    let workload = extraction_sort(8, 2005).expect("workload assembles");
+    let rs = RsConfig::uniform(1, &[Link::CuIc]);
+    wp_bench::bench_kernel_vs_naive(c, "table1_sort", &workload, &rs, MAX);
+}
+
+criterion_group!(benches, bench_sort_table, bench_kernel);
 criterion_main!(benches);

@@ -3,10 +3,14 @@
 //! The paper makes the semi-infinite queues of the formal model finite and
 //! relies on back-pressure for correctness; this experiment shows how small
 //! the queues can be before throughput suffers on the case-study processor.
+//!
+//! The 2 × depths wire-pipelined runs are swept across worker threads by
+//! `wp_sim::SweepRunner`.
 
-use wp_bench::{run_soc_with_shell_config, sort_workload, MAX_CYCLES};
+use wp_bench::{soc_scenario_with_config, sort_workload, MAX_CYCLES};
 use wp_core::ShellConfig;
 use wp_proc::{run_golden_soc, Link, Organization, RsConfig};
+use wp_sim::SweepRunner;
 
 fn main() {
     let workload = sort_workload();
@@ -14,27 +18,41 @@ fn main() {
         .expect("golden run completes");
     let rs = RsConfig::uniform(1, &[Link::CuIc]);
 
+    let depths = [2usize, 3, 4, 6, 8, 16];
+    let scenarios = depths
+        .iter()
+        .flat_map(|&depth| {
+            [
+                ("WP1", ShellConfig::strict()),
+                ("WP2", ShellConfig::oracle()),
+            ]
+            .map(|(tag, config)| {
+                soc_scenario_with_config(
+                    format!("depth{depth}_{tag}"),
+                    &workload,
+                    Organization::Pipelined,
+                    rs,
+                    config.with_fifo_capacity(depth),
+                )
+            })
+        })
+        .collect();
+    let outcomes = SweepRunner::default().run(scenarios);
+
     println!("FIFO-depth ablation: sort, pipelined, All 1 (no CU-IC)\n");
-    println!("{:>8} {:>10} {:>10} {:>8} {:>8}", "depth", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2");
-    for depth in [2usize, 3, 4, 6, 8, 16] {
-        let wp1 = run_soc_with_shell_config(
-            &workload,
-            Organization::Pipelined,
-            &rs,
-            ShellConfig::strict().with_fifo_capacity(depth),
-        )
-        .expect("WP1 run completes");
-        let wp2 = run_soc_with_shell_config(
-            &workload,
-            Organization::Pipelined,
-            &rs,
-            ShellConfig::oracle().with_fifo_capacity(depth),
-        )
-        .expect("WP2 run completes");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>8}",
+        "depth", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2"
+    );
+    for (i, &depth) in depths.iter().enumerate() {
+        let wp1 = outcomes[2 * i].as_ref().expect("WP1 run completes");
+        let wp2 = outcomes[2 * i + 1].as_ref().expect("WP2 run completes");
         println!(
-            "{depth:>8} {wp1:>10} {wp2:>10} {:>8.3} {:>8.3}",
-            golden.cycles as f64 / wp1 as f64,
-            golden.cycles as f64 / wp2 as f64
+            "{depth:>8} {:>10} {:>10} {:>8.3} {:>8.3}",
+            wp1.cycles_to_goal,
+            wp2.cycles_to_goal,
+            golden.cycles as f64 / wp1.cycles_to_goal as f64,
+            golden.cycles as f64 / wp2.cycles_to_goal as f64
         );
     }
 }

@@ -4,41 +4,58 @@
 //! computation reads.  This experiment degrades the oracle (every k-th query
 //! falls back to "all inputs required") on a synthetic loop and shows how the
 //! throughput moves from the WP2 value back to the WP1 bound.
+//!
+//! All degradation levels run as one `wp_sim::SweepRunner` sweep over
+//! `wp_bench::degraded_ring_scenario`.
 
-use wp_bench::{DegradedOracle, SyntheticStage};
-use wp_core::{ShellConfig, SyncPolicy};
-use wp_sim::{LidSimulator, SystemBuilder};
+use wp_bench::degraded_ring_scenario;
+use wp_core::SyncPolicy;
+use wp_sim::SweepRunner;
 
-fn measure(degrade_period: Option<u64>, policy: SyncPolicy) -> f64 {
-    const FIRINGS: u64 = 2_000;
-    let mut b = SystemBuilder::new();
-    let inner = Box::new(SyntheticStage::new("s0").with_skip_period(4));
-    let s0 = match degrade_period {
-        Some(p) => b.add_process(Box::new(DegradedOracle::new(inner, p))),
-        None => b.add_process(inner),
-    };
-    let s1 = b.add_process(Box::new(SyntheticStage::new("s1")));
-    b.connect("e0", s0, 0, s1, 0, 1);
-    b.connect("e1", s1, 0, s0, 0, 0);
-    let config = match policy {
-        SyncPolicy::Strict => ShellConfig::strict(),
-        SyncPolicy::Oracle => ShellConfig::oracle(),
-    };
-    let mut sim = LidSimulator::new(b, config).expect("ring builds");
-    sim.set_trace_enabled(false);
-    sim.run_until_firings(0, FIRINGS, 1_000_000)
-        .expect("ring runs");
-    FIRINGS as f64 / sim.cycles() as f64
-}
+const FIRINGS: u64 = 2_000;
 
 fn main() {
-    println!("Oracle-quality ablation: 2-process loop, 1 RS, loop needed every 4th firing\n");
-    let wp1 = measure(None, SyncPolicy::Strict);
-    println!("WP1 (no oracle)                    Th = {wp1:.3}");
-    for period in [1u64, 2, 4, 8, 16, 64] {
-        let th = measure(Some(period), SyncPolicy::Oracle);
-        println!("WP2, oracle degraded every {period:>3} queries  Th = {th:.3}");
+    const PERIODS: [u64; 6] = [1, 2, 4, 8, 16, 64];
+    let mut scenarios = vec![degraded_ring_scenario(
+        "wp1",
+        None,
+        SyncPolicy::Strict,
+        FIRINGS,
+    )];
+    for period in PERIODS {
+        scenarios.push(degraded_ring_scenario(
+            format!("wp2_degraded_{period}"),
+            Some(period),
+            SyncPolicy::Oracle,
+            FIRINGS,
+        ));
     }
-    let exact = measure(Some(u64::MAX), SyncPolicy::Oracle);
-    println!("WP2 (exact oracle)                 Th = {exact:.3}");
+    scenarios.push(degraded_ring_scenario(
+        "wp2_exact",
+        Some(u64::MAX),
+        SyncPolicy::Oracle,
+        FIRINGS,
+    ));
+
+    let outcomes = SweepRunner::default().run(scenarios);
+    let th = |i: usize| {
+        outcomes[i]
+            .as_ref()
+            .expect("ring simulation completes")
+            .report
+            .throughput_of(0)
+    };
+
+    println!("Oracle-quality ablation: 2-process loop, 1 RS, loop needed every 4th firing\n");
+    println!("WP1 (no oracle)                    Th = {:.3}", th(0));
+    for (i, period) in PERIODS.iter().enumerate() {
+        println!(
+            "WP2, oracle degraded every {period:>3} queries  Th = {:.3}",
+            th(i + 1)
+        );
+    }
+    println!(
+        "WP2 (exact oracle)                 Th = {:.3}",
+        th(PERIODS.len() + 1)
+    );
 }

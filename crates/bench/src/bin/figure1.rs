@@ -1,10 +1,16 @@
 //! Reproduces Figure 1 of the paper: the case-study netlist (five blocks and
 //! their channels) together with its loop inventory and the per-loop
 //! throughput law.
+//!
+//! Besides the analytic law, the per-link table now also *measures* the WP1
+//! throughput of every single-link configuration — a 10-scenario
+//! `wp_sim::SweepRunner` sweep of the full processor.
 
-use wp_bench::sort_workload;
+use wp_bench::{predict_wp1_throughput, soc_scenario, sort_workload, MAX_CYCLES};
+use wp_core::SyncPolicy;
 use wp_netlist::{analyze_loops, loop_inventory, to_dot, DEFAULT_MAX_LOOPS};
-use wp_proc::{build_soc, Link, Organization, RsConfig};
+use wp_proc::{build_soc, run_golden_soc, Link, Organization, RsConfig};
+use wp_sim::SweepRunner;
 
 fn main() {
     let workload = sort_workload();
@@ -28,19 +34,37 @@ fn main() {
         analysis.system_throughput()
     );
 
+    // Per-link worst loop: the analytic prediction next to a measured WP1
+    // run of the same configuration, one sweep scenario per link.
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)
+        .expect("golden run completes");
+    let scenarios = Link::ALL
+        .iter()
+        .map(|&link| {
+            soc_scenario(
+                link.label(),
+                &workload,
+                Organization::Pipelined,
+                RsConfig::single(link, 1),
+                SyncPolicy::Strict,
+            )
+        })
+        .collect();
+    let outcomes = SweepRunner::default().run(scenarios);
+
     println!("\nPer-link worst loop (1 RS on that link only):");
-    for link in Link::ALL {
-        let builder = build_soc(
+    println!(
+        "  {:<8} {:>14} {:>13}",
+        "link", "predicted WP1", "measured WP1"
+    );
+    for (link, outcome) in Link::ALL.iter().zip(&outcomes) {
+        let outcome = outcome.as_ref().expect("WP1 run completes");
+        let predicted = predict_wp1_throughput(
             &workload,
             Organization::Pipelined,
-            &RsConfig::single(link, 1),
+            &RsConfig::single(*link, 1),
         );
-        let net = builder.to_netlist();
-        let analysis = analyze_loops(&net, DEFAULT_MAX_LOOPS);
-        println!(
-            "  {:<8} predicted WP1 Th = {:.3}",
-            link.label(),
-            analysis.system_throughput()
-        );
+        let measured = golden.cycles as f64 / outcome.cycles_to_goal as f64;
+        println!("  {:<8} {predicted:>14.3} {measured:>13.3}", link.label());
     }
 }

@@ -2,35 +2,83 @@
 //! processes and `n` relay stations sustains `Th = m/(m+n)` under strict
 //! (WP1) shells, and the oracle (WP2) exceeds that bound when the loop is
 //! excited only once every few computations.
+//!
+//! All ring simulations (the m × n grid plus the oracle-relaxation column)
+//! are swept across worker threads by `wp_sim::SweepRunner`.
 
-use wp_bench::measure_ring_throughput;
+use wp_bench::ring_scenario;
 use wp_core::SyncPolicy;
 use wp_netlist::loop_throughput;
+use wp_sim::{SweepOutcome, SweepRunner};
+
+const FIRINGS: u64 = 2_000;
+
+fn throughput(outcome: &SweepOutcome) -> f64 {
+    outcome.report.throughput_of(0)
+}
 
 fn main() {
-    const FIRINGS: u64 = 2_000;
+    let runner = SweepRunner::default();
+
+    // The m × n grid: one scenario per (m, n) pair.
+    let grid: Vec<(usize, usize)> = (1..=6usize)
+        .flat_map(|m| (0..=4usize).map(move |n| (m, n)))
+        .collect();
+    let scenarios = grid
+        .iter()
+        .map(|&(m, n)| {
+            ring_scenario(
+                format!("m{m}_n{n}"),
+                m,
+                n,
+                None,
+                SyncPolicy::Strict,
+                FIRINGS,
+            )
+        })
+        .collect();
+    let outcomes = runner.run(scenarios);
 
     println!("Loop law: measured WP1 throughput vs m/(m+n)\n");
     println!(
         "{:>4} {:>4} {:>10} {:>10} {:>8}",
         "m", "n", "law", "measured", "error"
     );
-    for m in 1..=6usize {
-        for n in 0..=4usize {
-            let law = loop_throughput(m, n);
-            let measured = measure_ring_throughput(m, n, None, SyncPolicy::Strict, FIRINGS);
-            println!(
-                "{m:>4} {n:>4} {law:>10.3} {measured:>10.3} {:>7.1}%",
-                100.0 * (measured - law).abs() / law
-            );
-        }
+    for (&(m, n), outcome) in grid.iter().zip(&outcomes) {
+        let outcome = outcome.as_ref().expect("ring simulation completes");
+        let law = loop_throughput(m, n);
+        let measured = throughput(outcome);
+        println!(
+            "{m:>4} {n:>4} {law:>10.3} {measured:>10.3} {:>7.1}%",
+            100.0 * (measured - law).abs() / law
+        );
     }
+
+    // Oracle relaxation: a 2-process loop with 1 RS, the loop excited every
+    // k-th firing, under both policies.
+    let ks = [1u64, 2, 3, 4, 5, 8, 16];
+    let scenarios = ks
+        .iter()
+        .flat_map(|&k| {
+            [SyncPolicy::Strict, SyncPolicy::Oracle].map(|policy| {
+                ring_scenario(
+                    format!("k{k}_{}", policy.label()),
+                    2,
+                    1,
+                    Some(k),
+                    policy,
+                    FIRINGS,
+                )
+            })
+        })
+        .collect();
+    let outcomes = runner.run(scenarios);
 
     println!("\nOracle relaxation: 2-process loop, 1 RS, loop excited every k-th firing\n");
     println!("{:>4} {:>10} {:>10}", "k", "WP1", "WP2");
-    for k in [1u64, 2, 3, 4, 5, 8, 16] {
-        let wp1 = measure_ring_throughput(2, 1, Some(k), SyncPolicy::Strict, FIRINGS);
-        let wp2 = measure_ring_throughput(2, 1, Some(k), SyncPolicy::Oracle, FIRINGS);
-        println!("{k:>4} {wp1:>10.3} {wp2:>10.3}");
+    for (i, &k) in ks.iter().enumerate() {
+        let wp1 = outcomes[2 * i].as_ref().expect("WP1 ring completes");
+        let wp2 = outcomes[2 * i + 1].as_ref().expect("WP2 ring completes");
+        println!("{k:>4} {:>10.3} {:>10.3}", throughput(wp1), throughput(wp2));
     }
 }

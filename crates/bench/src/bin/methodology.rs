@@ -54,10 +54,10 @@ fn main() {
     // 4. Predict and simulate.
     let predicted = predict_wp1_throughput(&workload, organization, &rs);
     let golden = run_golden_soc(&workload, organization, MAX_CYCLES).expect("golden runs");
-    let wp1 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Strict, MAX_CYCLES)
-        .expect("WP1 runs");
-    let wp2 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Oracle, MAX_CYCLES)
-        .expect("WP2 runs");
+    let wp1 =
+        run_wp_soc(&workload, organization, &rs, SyncPolicy::Strict, MAX_CYCLES).expect("WP1 runs");
+    let wp2 =
+        run_wp_soc(&workload, organization, &rs, SyncPolicy::Oracle, MAX_CYCLES).expect("WP2 runs");
     println!("\ngolden cycles = {}", golden.cycles);
     println!(
         "WP1: cycles = {}, Th = {:.3} (law predicts {predicted:.3})",

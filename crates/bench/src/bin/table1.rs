@@ -2,58 +2,122 @@
 //! the pipelined processor, over the relay-station configuration sweep,
 //! comparing WP1 (strict shells) with WP2 (oracle shells).
 //!
-//! Usage: `table1 [--program sort|matmul|both]`
+//! The 2 × configurations wire-pipelined runs of each table are swept across
+//! worker threads by `wp_sim::SweepRunner`.
+//!
+//! Usage: `table1 [--program sort|matmul|both] [--quick] [--workers N]`
+//!
+//! `--quick` shrinks the workloads and the configuration sweep to a few
+//! seconds of wall-clock; CI uses it as the smoke run.
 
 use wp_bench::{
-    format_table, matmul_workload, run_table, sort_workload, table1_base_configs,
+    format_table, matmul_workload, run_table_on, sort_workload, table1_base_configs,
     table1_two_rs_configs,
 };
-use wp_proc::Organization;
+use wp_proc::{extraction_sort, matrix_multiply, Organization, RsConfig, Workload};
+use wp_sim::SweepRunner;
+
+struct Args {
+    program: String,
+    quick: bool,
+    workers: usize,
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    Args {
+        program: flag_value("--program")
+            .or_else(|| args.first().cloned().filter(|a| !a.starts_with("--")))
+            .unwrap_or_else(|| "both".to_string()),
+        quick: args.iter().any(|a| a == "--quick"),
+        workers: flag_value("--workers").map_or(0, |w| {
+            w.parse().unwrap_or_else(|_| {
+                eprintln!("error: --workers expects a non-negative integer, got '{w}'");
+                std::process::exit(2);
+            })
+        }),
+    }
+}
+
+fn sort_table(args: &Args, runner: &SweepRunner) {
+    let (workload, label): (Workload, String) = if args.quick {
+        (
+            extraction_sort(6, wp_bench::WORKLOAD_SEED).expect("sort workload assembles"),
+            "Table 1 (upper, quick): Extraction Sort, pipelined (6 elements)".into(),
+        )
+    } else {
+        (
+            sort_workload(),
+            format!(
+                "Table 1 (upper): Extraction Sort, pipelined ({} elements)",
+                wp_bench::SORT_ELEMENTS
+            ),
+        )
+    };
+    let mut configs = table1_base_configs();
+    if !args.quick {
+        configs.push(wp_bench::optimal_config(
+            &workload,
+            Organization::Pipelined,
+            1,
+        ));
+    }
+    let rows = run_table_on(runner, &workload, Organization::Pipelined, &configs)
+        .expect("sort table runs");
+    println!("{}", format_table(&label, &rows));
+}
+
+fn matmul_table(args: &Args, runner: &SweepRunner) {
+    let (workload, label): (Workload, String) = if args.quick {
+        (
+            matrix_multiply(3, wp_bench::WORKLOAD_SEED).expect("matmul workload assembles"),
+            "Table 1 (lower, quick): Matrix Multiply, pipelined (3x3)".into(),
+        )
+    } else {
+        (
+            matmul_workload(),
+            format!(
+                "Table 1 (lower): Matrix Multiply, pipelined ({0}x{0})",
+                wp_bench::MATMUL_DIM
+            ),
+        )
+    };
+    let mut configs: Vec<(String, RsConfig)> = table1_base_configs();
+    if !args.quick {
+        configs.push(wp_bench::optimal_config(
+            &workload,
+            Organization::Pipelined,
+            1,
+        ));
+        configs.extend(table1_two_rs_configs());
+        configs.push(wp_bench::optimal_config(
+            &workload,
+            Organization::Pipelined,
+            2,
+        ));
+    }
+    let rows = run_table_on(runner, &workload, Organization::Pipelined, &configs)
+        .expect("matmul table runs");
+    println!("{}", format_table(&label, &rows));
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let program = args
-        .iter()
-        .position(|a| a == "--program")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .or_else(|| args.first().cloned().filter(|a| !a.starts_with("--")))
-        .unwrap_or_else(|| "both".to_string());
-
-    if program == "sort" || program == "both" {
-        let workload = sort_workload();
-        let mut configs = table1_base_configs();
-        configs.push(wp_bench::optimal_config(&workload, Organization::Pipelined, 1));
-        let rows =
-            run_table(&workload, Organization::Pipelined, &configs).expect("sort table runs");
-        println!(
-            "{}",
-            format_table(
-                &format!(
-                    "Table 1 (upper): Extraction Sort, pipelined ({} elements)",
-                    wp_bench::SORT_ELEMENTS
-                ),
-                &rows
-            )
-        );
+    let args = parse_args();
+    let runner = SweepRunner::new(args.workers);
+    eprintln!(
+        "sweeping wire-pipelined runs across {} worker thread(s)",
+        runner.workers()
+    );
+    if args.program == "sort" || args.program == "both" {
+        sort_table(&args, &runner);
     }
-    if program == "matmul" || program == "both" {
-        let workload = matmul_workload();
-        let mut configs = table1_base_configs();
-        configs.push(wp_bench::optimal_config(&workload, Organization::Pipelined, 1));
-        configs.extend(table1_two_rs_configs());
-        configs.push(wp_bench::optimal_config(&workload, Organization::Pipelined, 2));
-        let rows =
-            run_table(&workload, Organization::Pipelined, &configs).expect("matmul table runs");
-        println!(
-            "{}",
-            format_table(
-                &format!(
-                    "Table 1 (lower): Matrix Multiply, pipelined ({0}x{0})",
-                    wp_bench::MATMUL_DIM
-                ),
-                &rows
-            )
-        );
+    if args.program == "matmul" || args.program == "both" {
+        matmul_table(&args, &runner);
     }
 }

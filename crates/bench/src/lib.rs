@@ -7,14 +7,12 @@
 
 #![warn(missing_docs)]
 
-use serde::Serialize;
-
 use wp_core::{PortSet, Process, ShellConfig, SyncPolicy};
 use wp_proc::{
-    extraction_sort, matrix_multiply, run_golden_soc, run_wp_soc, Link, Organization, RsConfig,
-    RunOutcome, SocError, Workload,
+    build_soc, extraction_sort, matrix_multiply, run_golden_soc, soc_state, Link, Msg,
+    Organization, RsConfig, SocError, SocState, Workload, CU,
 };
-use wp_sim::{LidSimulator, SystemBuilder};
+use wp_sim::{LidSimulator, RunGoal, Scenario, SweepOutcome, SweepRunner, SystemBuilder};
 
 /// Default cycle budget for SoC simulations.
 pub const MAX_CYCLES: u64 = 20_000_000;
@@ -37,7 +35,7 @@ pub fn matmul_workload() -> Workload {
 }
 
 /// One row of a reproduced Table 1 (or of the multicycle companion table).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableRow {
     /// Relay-station configuration label (e.g. "Only RF-DC").
     pub label: String,
@@ -58,20 +56,27 @@ pub struct TableRow {
 }
 
 impl TableRow {
-    fn from_runs(
+    fn new(
         label: String,
-        golden: &RunOutcome,
-        wp1: &RunOutcome,
-        wp2: &RunOutcome,
+        golden_cycles: u64,
+        wp1_cycles: u64,
+        wp2_cycles: u64,
         predicted: f64,
     ) -> Self {
-        let th_wp1 = wp1.throughput_vs(golden.cycles);
-        let th_wp2 = wp2.throughput_vs(golden.cycles);
+        let ratio = |cycles: u64| {
+            if cycles == 0 {
+                0.0
+            } else {
+                golden_cycles as f64 / cycles as f64
+            }
+        };
+        let th_wp1 = ratio(wp1_cycles);
+        let th_wp2 = ratio(wp2_cycles);
         Self {
             label,
-            golden_cycles: golden.cycles,
-            wp1_cycles: wp1.cycles,
-            wp2_cycles: wp2.cycles,
+            golden_cycles,
+            wp1_cycles,
+            wp2_cycles,
             th_wp1,
             th_wp2,
             th_wp1_predicted: predicted,
@@ -165,7 +170,91 @@ pub fn predict_wp1_throughput(workload: &Workload, org: Organization, rs: &RsCon
     wp_netlist::predicted_throughput(&net)
 }
 
+/// Builds the sweep scenario for one wire-pipelined SoC run: the workload on
+/// the case-study processor with the given relay-station configuration and
+/// shell policy, run until the control unit halts, drained, and finished by
+/// extracting the architectural state ([`SocState`]).
+pub fn soc_scenario(
+    label: impl Into<String>,
+    workload: &Workload,
+    org: Organization,
+    rs: RsConfig,
+    policy: SyncPolicy,
+) -> Scenario<Msg, SocState> {
+    let config = ShellConfig::for_policy(policy);
+    soc_scenario_with_config(label, workload, org, rs, config)
+}
+
+/// [`soc_scenario`] with an explicit [`ShellConfig`] (e.g. a non-default
+/// FIFO depth, as swept by the `ablation_fifo` experiment).
+pub fn soc_scenario_with_config(
+    label: impl Into<String>,
+    workload: &Workload,
+    org: Organization,
+    rs: RsConfig,
+    config: ShellConfig,
+) -> Scenario<Msg, SocState> {
+    let workload = workload.clone();
+    Scenario::<Msg>::new(
+        label,
+        config,
+        RunGoal::UntilHalt {
+            process: CU,
+            max_cycles: MAX_CYCLES,
+        },
+        move || build_soc(&workload, org, &rs),
+    )
+    // Stores and write-backs may still be in flight behind relay stations
+    // when the CU halts; drain before reading the memory back.
+    .with_drain(32, 100_000)
+    .with_post(|sim| soc_state(sim).expect("scenario was built by build_soc"))
+}
+
+/// Builds the sweep scenario for one synthetic-ring throughput measurement:
+/// `stages` stages, `relay_stations` on the first edge, the first stage's
+/// loop input needed every `skip_period`-th firing (when `Some`), run until
+/// stage 0 has fired `firings` times.
+///
+/// The measured throughput is `report.throughput_of(0)` of the outcome.
+pub fn ring_scenario(
+    label: impl Into<String>,
+    stages: usize,
+    relay_stations: usize,
+    skip_period: Option<u64>,
+    policy: SyncPolicy,
+    firings: u64,
+) -> Scenario<u64> {
+    let config = ShellConfig::for_policy(policy);
+    Scenario::<u64>::new(
+        label,
+        config,
+        RunGoal::UntilFirings {
+            process: 0,
+            target: firings,
+            max_cycles: firings.saturating_mul(64).max(10_000),
+        },
+        move || build_ring(stages, relay_stations, skip_period),
+    )
+}
+
+/// Unwraps one SoC sweep outcome and validates the program result against
+/// the workload.
+fn check_soc_outcome(
+    workload: &Workload,
+    outcome: Result<SweepOutcome<SocState>, wp_sim::SweepError>,
+) -> Result<SweepOutcome<SocState>, SocError> {
+    let outcome = outcome.map_err(|e| SocError::Sim(e.error))?;
+    let state = outcome.post.as_ref().ok_or(SocError::MemoryUnavailable)?;
+    if !workload.check(&state.memory[..workload.expected_memory.len()]) {
+        return Err(SocError::WrongResult);
+    }
+    Ok(outcome)
+}
+
 /// Runs golden + WP1 + WP2 for every configuration and collects table rows.
+///
+/// The golden run is sequential (it is the shared denominator); the
+/// 2 × `configs.len()` wire-pipelined runs are swept across worker threads.
 ///
 /// # Errors
 ///
@@ -175,22 +264,44 @@ pub fn run_table(
     org: Organization,
     configs: &[(String, RsConfig)],
 ) -> Result<Vec<TableRow>, SocError> {
+    run_table_on(&SweepRunner::default(), workload, org, configs)
+}
+
+/// [`run_table`] with an explicit [`SweepRunner`] (worker-count control).
+///
+/// # Errors
+///
+/// Propagates any [`SocError`] from the underlying runs.
+pub fn run_table_on(
+    runner: &SweepRunner,
+    workload: &Workload,
+    org: Organization,
+    configs: &[(String, RsConfig)],
+) -> Result<Vec<TableRow>, SocError> {
     let golden = run_golden_soc(workload, org, MAX_CYCLES)?;
+    let mut scenarios = Vec::with_capacity(configs.len() * 2);
+    for (label, rs) in configs {
+        for policy in [SyncPolicy::Strict, SyncPolicy::Oracle] {
+            scenarios.push(soc_scenario(
+                format!("{label}/{}", policy.label()),
+                workload,
+                org,
+                *rs,
+                policy,
+            ));
+        }
+    }
+    let mut outcomes = runner.run(scenarios).into_iter();
     let mut rows = Vec::with_capacity(configs.len());
     for (label, rs) in configs {
-        let wp1 = run_wp_soc(workload, org, rs, SyncPolicy::Strict, MAX_CYCLES)?;
-        let wp2 = run_wp_soc(workload, org, rs, SyncPolicy::Oracle, MAX_CYCLES)?;
-        if !workload.check(&wp1.memory[..workload.expected_memory.len()])
-            || !workload.check(&wp2.memory[..workload.expected_memory.len()])
-        {
-            return Err(SocError::WrongResult);
-        }
+        let wp1 = check_soc_outcome(workload, outcomes.next().expect("one outcome per scenario"))?;
+        let wp2 = check_soc_outcome(workload, outcomes.next().expect("one outcome per scenario"))?;
         let predicted = predict_wp1_throughput(workload, org, rs);
-        rows.push(TableRow::from_runs(
+        rows.push(TableRow::new(
             label.clone(),
-            &golden,
-            &wp1,
-            &wp2,
+            golden.cycles,
+            wp1.cycles_to_goal,
+            wp2.cycles_to_goal,
             predicted,
         ));
     }
@@ -205,7 +316,14 @@ pub fn format_table(title: &str, rows: &[TableRow]) -> String {
     let _ = writeln!(
         out,
         "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>12}",
-        "RS Configuration", "Golden", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2", "law WP1", "WP2 vs WP1"
+        "RS Configuration",
+        "Golden",
+        "WP1 cyc",
+        "WP2 cyc",
+        "Th WP1",
+        "Th WP2",
+        "law WP1",
+        "WP2 vs WP1"
     );
     for r in rows {
         let _ = writeln!(
@@ -255,7 +373,7 @@ impl SyntheticStage {
 
     fn input_needed(&self) -> bool {
         match self.skip_period {
-            Some(p) => self.fires % p == 0,
+            Some(p) => self.fires.is_multiple_of(p),
             None => true,
         }
     }
@@ -326,6 +444,45 @@ pub fn build_ring(
     b
 }
 
+/// The 2-stage, 1-RS ring of the oracle-quality ablation: the first stage
+/// needs its loop input only every 4th firing, and when `degrade_period` is
+/// `Some(k)` its oracle is wrapped in a [`DegradedOracle`] that falls back
+/// to "all inputs required" every `k`-th query.
+pub fn build_degraded_ring(degrade_period: Option<u64>) -> SystemBuilder<u64> {
+    let mut b = SystemBuilder::new();
+    let inner = Box::new(SyntheticStage::new("s0").with_skip_period(4));
+    let s0 = match degrade_period {
+        Some(p) => b.add_process(Box::new(DegradedOracle::new(inner, p))),
+        None => b.add_process(inner),
+    };
+    let s1 = b.add_process(Box::new(SyntheticStage::new("s1")));
+    b.connect("e0", s0, 0, s1, 0, 1);
+    b.connect("e1", s1, 0, s0, 0, 0);
+    b
+}
+
+/// Builds the sweep scenario for one oracle-quality-ablation measurement on
+/// [`build_degraded_ring`]; the measured throughput is
+/// `report.throughput_of(0)` of the outcome, exactly as for
+/// [`ring_scenario`].
+pub fn degraded_ring_scenario(
+    label: impl Into<String>,
+    degrade_period: Option<u64>,
+    policy: SyncPolicy,
+    firings: u64,
+) -> Scenario<u64> {
+    Scenario::<u64>::new(
+        label,
+        ShellConfig::for_policy(policy),
+        RunGoal::UntilFirings {
+            process: 0,
+            target: firings,
+            max_cycles: firings.saturating_mul(64).max(10_000),
+        },
+        move || build_degraded_ring(degrade_period),
+    )
+}
+
 /// Measured throughput of a synthetic ring under the given policy.
 ///
 /// # Panics
@@ -338,10 +495,7 @@ pub fn measure_ring_throughput(
     policy: SyncPolicy,
     firings: u64,
 ) -> f64 {
-    let config = match policy {
-        SyncPolicy::Strict => ShellConfig::strict(),
-        SyncPolicy::Oracle => ShellConfig::oracle(),
-    };
+    let config = ShellConfig::for_policy(policy);
     let mut sim = LidSimulator::new(build_ring(stages, relay_stations, skip_period), config)
         .expect("ring is well formed");
     sim.set_trace_enabled(false);
@@ -350,25 +504,74 @@ pub fn measure_ring_throughput(
     firings as f64 / sim.cycles() as f64
 }
 
-/// Runs the case-study SoC with an explicit shell configuration (used by the
-/// FIFO-depth ablation).
+/// Runs one WP1 workload through the allocation-free kernel
+/// ([`LidSimulator`]) with traces disabled, returning the cycle count.
 ///
-/// Returns the cycle count of the run.
+/// Paired with [`run_wp1_naive`] by the `kernel_vs_naive` bench groups so
+/// both tables measure the kernel speedup with identical methodology.
 ///
-/// # Errors
+/// # Panics
 ///
-/// Propagates simulator errors.
-pub fn run_soc_with_shell_config(
-    workload: &Workload,
-    org: Organization,
-    rs: &RsConfig,
-    config: ShellConfig,
-) -> Result<u64, SocError> {
-    let builder = wp_proc::build_soc(workload, org, rs);
-    let mut sim = LidSimulator::new(builder, config)?;
+/// Panics if the simulation fails (the bench workloads never do).
+pub fn run_wp1_kernel(workload: &Workload, rs: &RsConfig, max_cycles: u64) -> u64 {
+    let builder = build_soc(workload, Organization::Pipelined, rs);
+    let mut sim = LidSimulator::new(builder, ShellConfig::strict()).expect("SoC assembles");
     sim.set_trace_enabled(false);
-    let cycles = sim.run_until_halt(wp_proc::CU, MAX_CYCLES)?;
-    Ok(cycles)
+    sim.run_until_halt(CU, max_cycles)
+        .expect("SoC run completes")
+}
+
+/// [`run_wp1_kernel`]'s baseline twin: the same run through the preserved
+/// seed step ([`wp_sim::NaiveSimulator`]).
+///
+/// # Panics
+///
+/// Panics if the simulation fails (the bench workloads never do).
+pub fn run_wp1_naive(workload: &Workload, rs: &RsConfig, max_cycles: u64) -> u64 {
+    let builder = build_soc(workload, Organization::Pipelined, rs);
+    let mut sim =
+        wp_sim::NaiveSimulator::new(builder, ShellConfig::strict()).expect("SoC assembles");
+    sim.set_trace_enabled(false);
+    sim.run_until_halt(CU, max_cycles)
+        .expect("SoC run completes")
+}
+
+/// The shared `kernel_vs_naive` bench group: runs the same WP1 workload
+/// through the allocation-free kernel and the preserved seed step, asserts
+/// they simulate identical cycle counts, and prints the speedup.  Used by
+/// the `table1_sort` and `table1_matmul` benches so both tables measure the
+/// kernel with identical methodology.
+///
+/// # Panics
+///
+/// Panics if the two simulators disagree on the cycle count (a kernel bug).
+pub fn bench_kernel_vs_naive(
+    c: &mut criterion::Criterion,
+    table: &str,
+    workload: &Workload,
+    rs: &RsConfig,
+    max_cycles: u64,
+) {
+    assert_eq!(
+        run_wp1_kernel(workload, rs, max_cycles),
+        run_wp1_naive(workload, rs, max_cycles),
+        "kernel and naive must simulate identical cycle counts"
+    );
+
+    let mut group = c.benchmark_group(format!("{table}/kernel_vs_naive"));
+    group.sample_size(20);
+    let kernel = group.bench_function("arena_kernel", |b| {
+        b.iter(|| run_wp1_kernel(workload, rs, max_cycles))
+    });
+    let naive = group.bench_function("naive_step", |b| {
+        b.iter(|| run_wp1_naive(workload, rs, max_cycles))
+    });
+    group.finish();
+    println!(
+        "{table} kernel speedup vs naive baseline: {:.2}x (median), {:.2}x (mean)\n",
+        naive.median.as_secs_f64() / kernel.median.as_secs_f64(),
+        naive.mean.as_secs_f64() / kernel.mean.as_secs_f64(),
+    );
 }
 
 /// A process wrapper that degrades the oracle of the inner block: every
@@ -419,7 +622,7 @@ impl<V> Process<V> for DegradedOracle<V> {
     fn required_inputs(&self) -> PortSet {
         let q = self.queries.get();
         self.queries.set(q + 1);
-        if q % self.degrade_period == 0 {
+        if q.is_multiple_of(self.degrade_period) {
             PortSet::all(self.inner.num_inputs())
         } else {
             self.inner.required_inputs()

@@ -38,16 +38,28 @@ impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::FifoOverflow { capacity } => {
-                write!(f, "input queue overflow (capacity {capacity}): stop signal was not honoured")
+                write!(
+                    f,
+                    "input queue overflow (capacity {capacity}): stop signal was not honoured"
+                )
             }
             ProtocolError::RelayOverflow => {
-                write!(f, "relay station overflow: both main and auxiliary registers were full")
+                write!(
+                    f,
+                    "relay station overflow: both main and auxiliary registers were full"
+                )
             }
             ProtocolError::PortCountMismatch { expected, actual } => {
-                write!(f, "port count mismatch: component has {expected} ports, caller supplied {actual}")
+                write!(
+                    f,
+                    "port count mismatch: component has {expected} ports, caller supplied {actual}"
+                )
             }
             ProtocolError::MissingRequiredInput { port } => {
-                write!(f, "required input on port {port} was missing at firing time")
+                write!(
+                    f,
+                    "required input on port {port} was missing at firing time"
+                )
             }
         }
     }

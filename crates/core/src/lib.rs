@@ -49,7 +49,8 @@
 //!
 //! let mut shell = Shell::new(Box::new(Doubler { last: 0 }), ShellConfig::strict());
 //! // Cycle 0: a token arrives and the block fires at the end of the cycle.
-//! shell.update(&[Token::Valid(21)], &[false])?;
+//! let fired = shell.update(&[Token::Valid(21)], &[false])?;
+//! assert!(fired);
 //! assert_eq!(shell.output(0), Token::Valid(42));
 //! // Cycle 1: no token: the shell stalls and presents τ downstream
 //! // (the previous token was accepted, so the slot was released).

@@ -122,7 +122,9 @@ pub trait Process<V> {
 
 /// Collects the current value of every output port of a process.
 pub fn collect_outputs<V, P: Process<V> + ?Sized>(process: &P) -> Vec<V> {
-    (0..process.num_outputs()).map(|p| process.output(p)).collect()
+    (0..process.num_outputs())
+        .map(|p| process.output(p))
+        .collect()
 }
 
 /// A simple source process that emits a fixed sequence and then repeats its
@@ -169,7 +171,10 @@ impl<V: Clone> Process<V> for SequenceSource<V> {
     }
 
     fn output(&self, _port: usize) -> V {
-        self.sequence.get(self.position).unwrap_or(&self.idle).clone()
+        self.sequence
+            .get(self.position)
+            .unwrap_or(&self.idle)
+            .clone()
     }
 
     fn fire(&mut self, _inputs: &[Option<V>]) {

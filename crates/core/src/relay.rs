@@ -61,6 +61,11 @@ impl<V: Clone> RelayStation<V> {
         self.main.clone()
     }
 
+    /// Borrows the token driven on the downstream data wire this cycle.
+    pub fn output_ref(&self) -> &Token<V> {
+        &self.main
+    }
+
     /// The stop signal driven towards the upstream neighbour this cycle.
     pub fn stop_out(&self) -> bool {
         self.stop_reg
@@ -178,9 +183,16 @@ impl<V: Clone> RelayChain<V> {
     /// register; with zero stations the wire is transparent and the consumer
     /// sees `input` directly.
     pub fn output(&self, input: &Token<V>) -> Token<V> {
+        self.output_ref(input).clone()
+    }
+
+    /// Borrows the token presented to the consumer this cycle (the borrowed
+    /// counterpart of [`RelayChain::output`], used by the simulator kernel to
+    /// sample wires without cloning payloads).
+    pub fn output_ref<'a>(&'a self, input: &'a Token<V>) -> &'a Token<V> {
         match self.stations.last() {
-            Some(last) => last.output(),
-            None => input.clone(),
+            Some(last) => last.output_ref(),
+            None => input,
         }
     }
 
@@ -198,10 +210,55 @@ impl<V: Clone> RelayChain<V> {
     /// `input` is the producer's token this cycle and `stop_in` the
     /// consumer's stop this cycle.
     ///
+    /// The chain is walked from the consumer end back to the producer end so
+    /// that every station still observes its neighbours' *pre-update* wires
+    /// (the whole chain advances on the same clock edge) without buffering
+    /// them: the only state carried across iterations is the one stop bit a
+    /// station drove towards its upstream neighbour.  This keeps the
+    /// per-cycle update allocation-free; a token is cloned only when it
+    /// actually enters a station.
+    ///
     /// # Errors
     ///
     /// Propagates [`ProtocolError::RelayOverflow`] from any station.
-    pub fn update(&mut self, input: Token<V>, stop_in: bool) -> Result<(), ProtocolError> {
+    pub fn update(&mut self, input: &Token<V>, stop_in: bool) -> Result<(), ProtocolError> {
+        let n = self.stations.len();
+        // The stop observed by the station being updated, i.e. the
+        // pre-update stop of its downstream neighbour (the consumer's stop
+        // for the last station).
+        let mut downstream_stop = stop_in;
+        for i in (0..n).rev() {
+            // Save this station's pre-update stop: it is what the upstream
+            // neighbour (updated next) observed this cycle.
+            let upstream_observes = self.stations[i].stop_out();
+            // A station ignores its data wire while it asserts stop, so the
+            // clone of the upstream token is skipped entirely in that case.
+            let data_in = if upstream_observes {
+                Token::Void
+            } else if i == 0 {
+                input.clone()
+            } else {
+                self.stations[i - 1].output()
+            };
+            self.stations[i].update(data_in, downstream_stop)?;
+            downstream_stop = upstream_observes;
+        }
+        Ok(())
+    }
+
+    /// The seed implementation of [`RelayChain::update`]: buffers every
+    /// inter-station wire in freshly allocated vectors before updating the
+    /// stations front-to-back.
+    ///
+    /// Behaviourally identical to `update` (the kernel-equivalence property
+    /// tests assert this); kept as the reference step for
+    /// `wp_sim::NaiveSimulator`, which the criterion benches use as the
+    /// baseline the arena kernel is measured against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProtocolError::RelayOverflow`] from any station.
+    pub fn update_buffered(&mut self, input: Token<V>, stop_in: bool) -> Result<(), ProtocolError> {
         if self.stations.is_empty() {
             return Ok(());
         }
@@ -218,7 +275,11 @@ impl<V: Clone> RelayChain<V> {
             } else {
                 inter_data[i - 1].clone()
             };
-            let stop_from_downstream = if i == n - 1 { stop_in } else { inter_stop[i + 1] };
+            let stop_from_downstream = if i == n - 1 {
+                stop_in
+            } else {
+                inter_stop[i + 1]
+            };
             station.update(data_in, stop_from_downstream)?;
         }
         Ok(())
@@ -245,10 +306,7 @@ mod tests {
             if let Token::Valid(v) = rs.output() {
                 seen.push(v);
             }
-            let input = values
-                .get(cycle)
-                .copied()
-                .map_or(Token::Void, Token::Valid);
+            let input = values.get(cycle).copied().map_or(Token::Void, Token::Valid);
             rs.update(input, false).unwrap();
         }
         seen
@@ -347,7 +405,7 @@ mod tests {
                 if chain.output(&input).is_valid() && first_seen.is_none() {
                     first_seen = Some(cycle);
                 }
-                chain.update(input, false).unwrap();
+                chain.update(&input, false).unwrap();
             }
             // A token injected at cycle 0 appears at the output after n cycles.
             assert_eq!(first_seen, Some(n), "chain of {n} stations");
@@ -362,7 +420,7 @@ mod tests {
             if let Token::Valid(v) = chain.output(&Token::Valid(cycle)) {
                 received.push(v);
             }
-            chain.update(Token::Valid(cycle), false).unwrap();
+            chain.update(&Token::Valid(cycle), false).unwrap();
         }
         // After the 3-cycle fill latency the chain sustains one token/cycle.
         assert_eq!(received, (0..37).collect::<Vec<_>>());
@@ -389,7 +447,7 @@ mod tests {
                     received.push(v);
                 }
             }
-            chain.update(input, stop_in).unwrap();
+            chain.update(&input, stop_in).unwrap();
         }
         assert_eq!(received, (0..10).collect::<Vec<_>>());
     }

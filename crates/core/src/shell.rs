@@ -76,6 +76,15 @@ impl ShellConfig {
         }
     }
 
+    /// The default configuration for a policy ([`ShellConfig::strict`] for
+    /// WP1, [`ShellConfig::oracle`] for WP2).
+    pub fn for_policy(policy: SyncPolicy) -> Self {
+        match policy {
+            SyncPolicy::Strict => Self::strict(),
+            SyncPolicy::Oracle => Self::oracle(),
+        }
+    }
+
     /// Replaces the input-queue capacity.
     pub fn with_fifo_capacity(mut self, capacity: usize) -> Self {
         self.fifo_capacity = capacity;
@@ -177,6 +186,10 @@ pub struct Shell<V> {
     out_reg: Vec<Token<V>>,
     /// Number of firings performed so far (the current tag of the process).
     fired: u64,
+    /// Persistent scratch handed to [`Process::fire`]: one slot per input
+    /// port, reset to `None` before every firing.  Keeping it in the shell
+    /// makes [`Shell::update`] allocation-free in steady state.
+    fire_buf: Vec<Option<V>>,
     stats: ShellStats,
     last_stall: Option<StallCause>,
 }
@@ -201,6 +214,7 @@ impl<V: Clone> Shell<V> {
             stop_reg: vec![false; num_inputs],
             out_reg,
             fired: 0,
+            fire_buf: vec![None; num_inputs],
             process,
             config,
             last_stall: None,
@@ -230,6 +244,15 @@ impl<V: Clone> Shell<V> {
     /// Token presented on output channel `port` this cycle.
     pub fn output(&self, port: usize) -> Token<V> {
         self.out_reg[port].clone()
+    }
+
+    /// Borrows the token presented on output channel `port` this cycle.
+    ///
+    /// The simulator hot path samples every wire through this accessor so
+    /// that a token is cloned only where it genuinely fans out (into a relay
+    /// station, an input queue or a trace), never just to be inspected.
+    pub fn output_ref(&self, port: usize) -> &Token<V> {
+        &self.out_reg[port]
     }
 
     /// Stop signal presented to the upstream of input channel `port` this
@@ -271,6 +294,10 @@ impl<V: Clone> Shell<V> {
     ///   (driven by the first relay station of the channel or the consumer
     ///   shell).
     ///
+    /// Returns `true` when the enclosed process fired this cycle, so callers
+    /// (the simulator kernel) can maintain a monotonic system-wide firing
+    /// counter without re-scanning every shell.
+    ///
     /// # Errors
     ///
     /// Returns a [`ProtocolError`] if the supplied slices do not match the
@@ -279,7 +306,7 @@ impl<V: Clone> Shell<V> {
         &mut self,
         inputs: &[Token<V>],
         out_stops: &[bool],
-    ) -> Result<(), ProtocolError> {
+    ) -> Result<bool, ProtocolError> {
         if inputs.len() != self.num_inputs() {
             return Err(ProtocolError::PortCountMismatch {
                 expected: self.num_inputs(),
@@ -326,24 +353,26 @@ impl<V: Clone> Shell<V> {
 
         // 4. Decide whether the process can fire.
         let decision = self.firing_decision();
-        match decision {
+        let fired = match decision {
             Ok(required) => {
-                // Pop the consumed tokens and fire.
-                let mut fire_inputs: Vec<Option<V>> = vec![None; self.num_inputs()];
+                // Pop the consumed tokens into the persistent scratch slots
+                // and fire (no allocation on this path).
+                self.fire_buf.iter_mut().for_each(|slot| *slot = None);
                 for i in required.iter() {
                     let value = self.in_queues[i]
                         .pop()
                         .ok_or(ProtocolError::MissingRequiredInput { port: i })?;
                     self.consumed[i] += 1;
-                    fire_inputs[i] = Some(value);
+                    self.fire_buf[i] = Some(value);
                 }
-                self.process.fire(&fire_inputs);
+                self.process.fire(&self.fire_buf);
                 self.fired += 1;
                 self.stats.firings += 1;
                 self.last_stall = None;
                 for j in 0..self.out_reg.len() {
                     self.out_reg[j] = Token::Valid(self.process.output(j));
                 }
+                true
             }
             Err(cause) => {
                 self.last_stall = Some(cause);
@@ -352,14 +381,15 @@ impl<V: Clone> Shell<V> {
                     StallCause::OutputBlocked { .. } => self.stats.stalls_output_blocked += 1,
                     StallCause::Halted => self.stats.halted_cycles += 1,
                 }
+                false
             }
-        }
+        };
 
         // 5. Refresh the registered stop signals from the new queue occupancy.
         for (i, queue) in self.in_queues.iter().enumerate() {
             self.stop_reg[i] = queue.is_almost_full();
         }
-        Ok(())
+        Ok(fired)
     }
 
     /// Determines whether the process may fire this cycle, returning either
@@ -400,6 +430,7 @@ impl<V: Clone> Shell<V> {
         }
         self.consumed.iter_mut().for_each(|c| *c = 0);
         self.stop_reg.iter_mut().for_each(|s| *s = false);
+        self.fire_buf.iter_mut().for_each(|slot| *slot = None);
         for (p, slot) in self.out_reg.iter_mut().enumerate() {
             *slot = Token::Valid(self.process.output(p));
         }
@@ -415,7 +446,14 @@ impl<V: Clone> std::fmt::Debug for Shell<V> {
             .field("name", &self.process.name())
             .field("policy", &self.config.policy)
             .field("fired", &self.fired)
-            .field("queue_lens", &self.in_queues.iter().map(BoundedFifo::len).collect::<Vec<_>>())
+            .field(
+                "queue_lens",
+                &self
+                    .in_queues
+                    .iter()
+                    .map(BoundedFifo::len)
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -435,7 +473,11 @@ mod tests {
 
     impl SelectiveAdder {
         fn new() -> Self {
-            Self { acc: 0, held: 0, fires: 0 }
+            Self {
+                acc: 0,
+                held: 0,
+                fires: 0,
+            }
         }
     }
 
@@ -453,7 +495,7 @@ mod tests {
             self.acc
         }
         fn required_inputs(&self) -> PortSet {
-            if self.fires % 2 == 0 {
+            if self.fires.is_multiple_of(2) {
                 PortSet::all(2)
             } else {
                 PortSet::single(0)
@@ -461,7 +503,7 @@ mod tests {
         }
         fn fire(&mut self, inputs: &[Option<u64>]) {
             let a = inputs[0].expect("port 0 always required");
-            if self.fires % 2 == 0 {
+            if self.fires.is_multiple_of(2) {
                 self.held = inputs[1].expect("port 1 required on even firings");
             }
             self.acc = self.acc.wrapping_add(a).wrapping_add(self.held);

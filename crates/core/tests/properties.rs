@@ -114,7 +114,7 @@ proptest! {
                     received.push(v);
                 }
             }
-            chain.update(input, stop_in).expect("no overflow under correct back-pressure");
+            chain.update(&input, stop_in).expect("no overflow under correct back-pressure");
         }
         prop_assert_eq!(received, values);
     }
@@ -145,7 +145,7 @@ impl Process<u64> for Accumulator {
         self.total
     }
     fn required_inputs(&self) -> PortSet {
-        if self.fires % 3 == 0 {
+        if self.fires.is_multiple_of(3) {
             PortSet::all(2)
         } else {
             PortSet::single(0)
@@ -153,7 +153,7 @@ impl Process<u64> for Accumulator {
     }
     fn fire(&mut self, inputs: &[Option<u64>]) {
         let a = inputs[0].unwrap_or(0);
-        let b = if self.fires % 3 == 0 {
+        let b = if self.fires.is_multiple_of(3) {
             inputs[1].unwrap_or(0)
         } else {
             0
@@ -172,7 +172,7 @@ fn reference_outputs(a_values: &[u64], b_values: &[u64], steps: usize) -> Vec<u6
     let mut acc = Accumulator { total: 0, fires: 0 };
     let mut outs = Vec::new();
     for i in 0..steps {
-        let needs_b = acc.fires % 3 == 0;
+        let needs_b = acc.fires.is_multiple_of(3);
         acc.fire(&[
             Some(a_values[i]),
             if needs_b { Some(b_values[i]) } else { None },

@@ -248,9 +248,7 @@ impl Floorplan {
                 let src = self.find_block(net.node(edge.src()).name());
                 let dst = self.find_block(net.node(edge.dst()).name());
                 match (src, dst) {
-                    (Some(s), Some(d)) => {
-                        model.relay_stations(self.wire_length(placement, s, d))
-                    }
+                    (Some(s), Some(d)) => model.relay_stations(self.wire_length(placement, s, d)),
                     _ => 0,
                 }
             })
@@ -279,8 +277,7 @@ impl Floorplan {
                 let (xj, yj) = placement.position(j);
                 let (wi, hi) = (self.blocks[i].width, self.blocks[i].height);
                 let (wj, hj) = (self.blocks[j].width, self.blocks[j].height);
-                let separated =
-                    xi + wi <= xj || xj + wj <= xi || yi + hi <= yj || yj + hj <= yi;
+                let separated = xi + wi <= xj || xj + wj <= xi || yi + hi <= yj || yj + hj <= yi;
                 if !separated {
                     return true;
                 }

@@ -58,11 +58,7 @@ pub fn to_dot(net: &Netlist, graph_name: &str) -> String {
 /// the predicted throughput), suitable for the Figure 1 companion table.
 pub fn loop_inventory(net: &Netlist, analysis: &ThroughputAnalysis) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<50} {:>3} {:>3} {:>8}",
-        "loop", "m", "n", "Th"
-    );
+    let _ = writeln!(out, "{:<50} {:>3} {:>3} {:>8}", "loop", "m", "n", "Th");
     for info in analysis.loops() {
         let _ = writeln!(
             out,

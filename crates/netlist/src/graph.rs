@@ -200,18 +200,12 @@ impl Netlist {
 
     /// Finds a block by name.
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
     }
 
     /// Finds a channel by name.
     pub fn find_edge(&self, name: &str) -> Option<EdgeId> {
-        self.edges
-            .iter()
-            .position(|e| e.name == name)
-            .map(EdgeId)
+        self.edges.iter().position(|e| e.name == name).map(EdgeId)
     }
 
     /// All channels from `src` to `dst` (parallel edges included).

@@ -23,11 +23,9 @@ pub fn cyclic_components(net: &Netlist) -> Vec<Vec<NodeId>> {
         .into_iter()
         .filter(|comp| {
             comp.len() > 1
-                || comp.iter().any(|&n| {
-                    net.out_edges(n)
-                        .iter()
-                        .any(|&e| net.edge(e).dst() == n)
-                })
+                || comp
+                    .iter()
+                    .any(|&n| net.out_edges(n).iter().any(|&e| net.edge(e).dst() == n))
         })
         .collect()
 }
@@ -157,7 +155,10 @@ mod tests {
         net.add_edge("ab", a, b);
         net.add_edge("bc", b, c);
         net.add_edge("ca", c, a);
-        assert_eq!(sorted(strongly_connected_components(&net)), vec![vec![0, 1, 2]]);
+        assert_eq!(
+            sorted(strongly_connected_components(&net)),
+            vec![vec![0, 1, 2]]
+        );
         assert_eq!(cyclic_components(&net).len(), 1);
     }
 

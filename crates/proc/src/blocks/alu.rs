@@ -172,7 +172,13 @@ mod tests {
         alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 20, b: 22 })]);
         assert_eq!(alu.output(OUT_RF), Msg::Writeback { reg: 3, value: 42 });
         assert_eq!(alu.output(OUT_DC), Msg::Bubble);
-        assert_eq!(alu.output(OUT_CU), Msg::Flags { zero: false, neg: false });
+        assert_eq!(
+            alu.output(OUT_CU),
+            Msg::Flags {
+                zero: false,
+                neg: false
+            }
+        );
         assert_eq!(alu.executed(), 1);
     }
 
@@ -198,12 +204,24 @@ mod tests {
         let mut alu = Alu::new();
         alu.fire(&[Some(alu_cmd(AluOp::Sub, 0, None, false, false)), None]);
         alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 3, b: 7 })]);
-        assert_eq!(alu.output(OUT_CU), Msg::Flags { zero: false, neg: true });
+        assert_eq!(
+            alu.output(OUT_CU),
+            Msg::Flags {
+                zero: false,
+                neg: true
+            }
+        );
 
         let mut alu = Alu::new();
         alu.fire(&[Some(alu_cmd(AluOp::Sub, 0, None, false, false)), None]);
         alu.fire(&[Some(Msg::Bubble), Some(Msg::Operands { a: 7, b: 7 })]);
-        assert_eq!(alu.output(OUT_CU), Msg::Flags { zero: true, neg: false });
+        assert_eq!(
+            alu.output(OUT_CU),
+            Msg::Flags {
+                zero: true,
+                neg: false
+            }
+        );
     }
 
     #[test]

@@ -189,7 +189,13 @@ fn decode_issue(instr: Instr) -> IssueBundle {
             None,
             NextPc::Jump(target),
         ),
-        Instr::Nop => bundle(Msg::Bubble, Msg::Bubble, Msg::Bubble, None, NextPc::Sequential),
+        Instr::Nop => bundle(
+            Msg::Bubble,
+            Msg::Bubble,
+            Msg::Bubble,
+            None,
+            NextPc::Sequential,
+        ),
         Instr::Halt => bundle(Msg::Bubble, Msg::Bubble, Msg::Bubble, None, NextPc::Halt),
     }
 }
@@ -541,7 +547,11 @@ mod tests {
                     neg: flags.1,
                 }),
             ]);
-            assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: expected_pc }, "{org:?}");
+            assert_eq!(
+                cu.output(OUT_IC),
+                Msg::Fetch { addr: expected_pc },
+                "{org:?}"
+            );
         }
     }
 
@@ -549,7 +559,10 @@ mod tests {
     fn jump_and_nop_shortcut_to_the_next_fetch() {
         let mut cu = ControlUnit::new(Organization::Multicycle);
         fire_idle(&mut cu);
-        cu.fire(&[Some(instr_msg(Instr::Jump { target: 9 })), Some(Msg::Bubble)]);
+        cu.fire(&[
+            Some(instr_msg(Instr::Jump { target: 9 })),
+            Some(Msg::Bubble),
+        ]);
         assert_eq!(cu.output(OUT_IC), Msg::Fetch { addr: 9 });
 
         let mut cu = ControlUnit::new(Organization::Pipelined);

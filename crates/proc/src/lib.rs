@@ -46,6 +46,6 @@ pub use iss::{Iss, IssError, IssResult};
 pub use msg::{AluCmd, MemKind, Msg, RegCmd};
 pub use programs::{extraction_sort, matrix_multiply, Workload};
 pub use soc::{
-    build_soc, run_golden_soc, run_wp_soc, Link, RsConfig, RunOutcome, SocError, ALU, CU, DC, IC,
-    RF,
+    build_soc, instructions_from_process, memory_from_process, run_golden_soc, run_wp_soc,
+    soc_state, Link, RsConfig, RunOutcome, SocError, SocState, ALU, CU, DC, IC, RF,
 };

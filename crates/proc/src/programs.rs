@@ -109,7 +109,7 @@ pub fn matrix_multiply(n: usize, seed: u64) -> Result<Workload, AsmError> {
     let mut memory = Vec::with_capacity(3 * nn);
     memory.extend_from_slice(&a);
     memory.extend_from_slice(&b);
-    memory.extend(std::iter::repeat(0).take(nn));
+    memory.extend(std::iter::repeat_n(0, nn));
 
     let mut expected = memory.clone();
     for i in 0..n {
@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn workloads_are_deterministic_for_a_seed() {
-        assert_eq!(extraction_sort(8, 3).unwrap(), extraction_sort(8, 3).unwrap());
+        assert_eq!(
+            extraction_sort(8, 3).unwrap(),
+            extraction_sort(8, 3).unwrap()
+        );
         assert_ne!(
             extraction_sort(8, 3).unwrap().memory,
             extraction_sort(8, 4).unwrap().memory

@@ -12,7 +12,9 @@ use std::fmt;
 use wp_core::{ChannelTrace, ShellConfig, SyncPolicy};
 use wp_sim::{GoldenSimulator, LidSimulator, ProcessId, SimError, SystemBuilder};
 
-use crate::blocks::{alu, cu, dcache, regfile, Alu, ControlUnit, DataMem, InstrMem, Organization, RegFile};
+use crate::blocks::{
+    alu, cu, dcache, regfile, Alu, ControlUnit, DataMem, InstrMem, Organization, RegFile,
+};
 use crate::msg::Msg;
 use crate::programs::Workload;
 
@@ -165,7 +167,11 @@ impl RsConfig {
 
     /// A short description such as `"All 0 (ideal)"` or `"Only RF-DC"`.
     pub fn describe(&self) -> String {
-        let nonzero: Vec<Link> = Link::ALL.iter().copied().filter(|&l| self.get(l) > 0).collect();
+        let nonzero: Vec<Link> = Link::ALL
+            .iter()
+            .copied()
+            .filter(|&l| self.get(l) > 0)
+            .collect();
         match nonzero.len() {
             0 => "All 0 (ideal)".to_string(),
             1 => format!("Only {} ({} RS)", nonzero[0], self.get(nonzero[0])),
@@ -251,15 +257,78 @@ pub fn build_soc(
 
     b.connect("cu_ic", CU, cu::OUT_IC, IC, 0, rs.get(Link::CuIc));
     b.connect("ic_cu", IC, 0, CU, cu::IN_IC, rs.get(Link::CuIc));
-    b.connect("cu_rf", CU, cu::OUT_RF, RF, regfile::IN_CU, rs.get(Link::CuRf));
-    b.connect("cu_alu", CU, cu::OUT_ALU, ALU, alu::IN_CU, rs.get(Link::CuAlu));
-    b.connect("cu_dc", CU, cu::OUT_DC, DC, dcache::IN_CU, rs.get(Link::CuDc));
-    b.connect("rf_alu", RF, regfile::OUT_ALU, ALU, alu::IN_RF, rs.get(Link::RfAlu));
-    b.connect("rf_dc", RF, regfile::OUT_DC, DC, dcache::IN_RF, rs.get(Link::RfDc));
-    b.connect("alu_cu", ALU, alu::OUT_CU, CU, cu::IN_ALU, rs.get(Link::AluCu));
-    b.connect("alu_rf", ALU, alu::OUT_RF, RF, regfile::IN_ALU, rs.get(Link::AluRf));
-    b.connect("alu_dc", ALU, alu::OUT_DC, DC, dcache::IN_ALU, rs.get(Link::AluDc));
-    b.connect("dc_rf", DC, dcache::OUT_RF, RF, regfile::IN_DC, rs.get(Link::DcRf));
+    b.connect(
+        "cu_rf",
+        CU,
+        cu::OUT_RF,
+        RF,
+        regfile::IN_CU,
+        rs.get(Link::CuRf),
+    );
+    b.connect(
+        "cu_alu",
+        CU,
+        cu::OUT_ALU,
+        ALU,
+        alu::IN_CU,
+        rs.get(Link::CuAlu),
+    );
+    b.connect(
+        "cu_dc",
+        CU,
+        cu::OUT_DC,
+        DC,
+        dcache::IN_CU,
+        rs.get(Link::CuDc),
+    );
+    b.connect(
+        "rf_alu",
+        RF,
+        regfile::OUT_ALU,
+        ALU,
+        alu::IN_RF,
+        rs.get(Link::RfAlu),
+    );
+    b.connect(
+        "rf_dc",
+        RF,
+        regfile::OUT_DC,
+        DC,
+        dcache::IN_RF,
+        rs.get(Link::RfDc),
+    );
+    b.connect(
+        "alu_cu",
+        ALU,
+        alu::OUT_CU,
+        CU,
+        cu::IN_ALU,
+        rs.get(Link::AluCu),
+    );
+    b.connect(
+        "alu_rf",
+        ALU,
+        alu::OUT_RF,
+        RF,
+        regfile::IN_ALU,
+        rs.get(Link::AluRf),
+    );
+    b.connect(
+        "alu_dc",
+        ALU,
+        alu::OUT_DC,
+        DC,
+        dcache::IN_ALU,
+        rs.get(Link::AluDc),
+    );
+    b.connect(
+        "dc_rf",
+        DC,
+        dcache::OUT_RF,
+        RF,
+        regfile::IN_DC,
+        rs.get(Link::DcRf),
+    );
     b
 }
 
@@ -287,18 +356,46 @@ impl RunOutcome {
     }
 }
 
-fn memory_from_process(process: &dyn wp_core::Process<Msg>) -> Option<Vec<i64>> {
+/// Reads the final data-memory contents out of the [`DC`] process of a
+/// finished run (used by sweep post-extractions and the run helpers).
+pub fn memory_from_process(process: &dyn wp_core::Process<Msg>) -> Option<Vec<i64>> {
     process
         .as_any()?
         .downcast_ref::<DataMem>()
         .map(|d| d.memory().to_vec())
 }
 
-fn instructions_from_process(process: &dyn wp_core::Process<Msg>) -> u64 {
+/// Reads the retired-instruction count out of the [`CU`] process of a
+/// finished run.
+pub fn instructions_from_process(process: &dyn wp_core::Process<Msg>) -> u64 {
     process
         .as_any()
         .and_then(|a| a.downcast_ref::<ControlUnit>())
         .map_or(0, ControlUnit::instructions)
+}
+
+/// Architectural state extracted from a finished wire-pipelined SoC run:
+/// final data memory and retired-instruction count.
+///
+/// Designed as a [`wp_sim::Scenario::with_post`] extraction, so relay-station
+/// sweeps over the SoC can validate program results per scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocState {
+    /// Final data-memory contents.
+    pub memory: Vec<i64>,
+    /// Instructions retired by the control unit.
+    pub instructions: u64,
+}
+
+/// Extracts [`SocState`] from a finished simulator built by [`build_soc`].
+///
+/// Returns `None` when the data memory cannot be found or downcast (which
+/// indicates the simulator was not built by [`build_soc`]).
+pub fn soc_state(sim: &LidSimulator<Msg>) -> Option<SocState> {
+    Some(SocState {
+        memory: memory_from_process(sim.process(DC))?,
+        instructions: instructions_from_process(sim.process(CU)),
+    })
 }
 
 /// Runs the golden (un-pipelined) SoC until the control unit halts.
@@ -339,10 +436,7 @@ pub fn run_wp_soc(
     max_cycles: u64,
 ) -> Result<RunOutcome, SocError> {
     let builder = build_soc(workload, organization, rs);
-    let config = match policy {
-        SyncPolicy::Strict => ShellConfig::strict(),
-        SyncPolicy::Oracle => ShellConfig::oracle(),
-    };
+    let config = ShellConfig::for_policy(policy);
     let mut sim = LidSimulator::new(builder, config)?;
     let cycles = sim.run_until_halt(CU, max_cycles)?;
     // The control unit halts as soon as it decodes `halt`, but stores and
@@ -389,7 +483,11 @@ mod tests {
     fn golden_multicycle_sort_produces_sorted_memory() {
         let wl = extraction_sort(8, 11).unwrap();
         let outcome = run_golden_soc(&wl, Organization::Multicycle, MAX).unwrap();
-        assert!(wl.check(&outcome.memory[..8]), "memory {:?}", &outcome.memory[..8]);
+        assert!(
+            wl.check(&outcome.memory[..8]),
+            "memory {:?}",
+            &outcome.memory[..8]
+        );
         assert!(outcome.cycles > 0);
         assert!(outcome.instructions > 0);
     }
@@ -452,7 +550,12 @@ mod tests {
         let rs = RsConfig::single(Link::RfDc, 1);
         let wp1 = run_wp_soc(&wl, Organization::Pipelined, &rs, SyncPolicy::Strict, MAX).unwrap();
         let wp2 = run_wp_soc(&wl, Organization::Pipelined, &rs, SyncPolicy::Oracle, MAX).unwrap();
-        assert!(wp2.cycles < wp1.cycles, "WP2 {} vs WP1 {}", wp2.cycles, wp1.cycles);
+        assert!(
+            wp2.cycles < wp1.cycles,
+            "WP2 {} vs WP1 {}",
+            wp2.cycles,
+            wp1.cycles
+        );
         assert!(wp2.throughput_vs(golden.cycles) > wp1.throughput_vs(golden.cycles));
     }
 

@@ -6,9 +6,7 @@ use proptest::prelude::*;
 
 use wp_core::SyncPolicy;
 use wp_proc::isa::{decode, encode, AluOp, BranchKind, Instr};
-use wp_proc::{
-    run_golden_soc, run_wp_soc, Iss, Link, Organization, RsConfig, Workload,
-};
+use wp_proc::{run_golden_soc, run_wp_soc, Iss, Link, Organization, RsConfig, Workload};
 
 fn reg() -> impl Strategy<Value = u8> {
     0u8..16
@@ -39,7 +37,12 @@ fn branch_kind() -> impl Strategy<Value = BranchKind> {
 
 fn any_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
-        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (alu_op(), reg(), reg(), -8192i32..8191).prop_map(|(op, rd, rs1, imm)| Instr::AluImm {
             op,
             rd,
@@ -105,11 +108,16 @@ proptest! {
 /// stores stay inside a small data memory, terminated by `halt`.
 fn straight_line_program() -> impl Strategy<Value = Vec<Instr>> {
     let step = prop_oneof![
-        (alu_op(), 1u8..8, reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        (1u8..8, reg(), 0i32..8).prop_map(|(rd, rs1, imm)| Instr::AluImm {
+        (alu_op(), 1u8..8, reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (1u8..8, reg(), 0i32..8).prop_map(|(rd, _rs1, imm)| Instr::AluImm {
             op: AluOp::Add,
             rd,
-            rs1: rs1 % 1, // always r0: keeps addresses small and in range
+            rs1: 0, // always r0: keeps addresses small and in range
             imm,
         }),
         (1u8..8, 0i32..8).prop_map(|(rd, imm)| Instr::Load { rd, rs1: 0, imm }),

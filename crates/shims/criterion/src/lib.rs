@@ -1,0 +1,226 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this in-tree crate provides a std-only micro-benchmark harness with the
+//! criterion API surface the workspace benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], `bench_function`,
+//! `bench_with_input`, `sample_size`, the [`criterion_group!`] /
+//! [`criterion_main!`] macros and [`black_box`].
+//!
+//! Statistics are intentionally simple: after one warm-up iteration, each
+//! benchmark runs `sample_size` timed iterations and reports min / median /
+//! mean wall-clock times.  That is enough to compare two implementations in
+//! the same process (e.g. the arena kernel vs the naive baseline) and to
+//! catch large regressions in CI; swap this crate for the real `criterion`
+//! in `Cargo.toml` for publication-grade statistics.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times closures handed to `Bencher::iter`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warm-up and then `sample_size` timed times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Summary statistics of one benchmark, also returned to callers that want
+/// to post-process timings (e.g. to compute speedup ratios).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+}
+
+impl Summary {
+    fn from_samples(mut samples: Vec<Duration>) -> Self {
+        assert!(!samples.is_empty(), "benchmark ran zero iterations");
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        Self { min, median, mean }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:>12.3?}  median {:>12.3?}  mean {:>12.3?}",
+            self.min, self.median, self.mean
+        )
+    }
+}
+
+fn run_one(full_name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) -> Summary {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size: sample_size.max(1),
+    };
+    f(&mut bencher);
+    let summary = Summary::from_samples(bencher.samples);
+    println!("{full_name:<48} {summary}");
+    summary
+}
+
+/// A two-part benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an identifier from a function name and a parameter label.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        name: impl fmt::Display,
+        f: F,
+    ) -> Summary {
+        run_one(&name.to_string(), self.sample_size, f)
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> Summary {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f)
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        f: F,
+    ) -> Summary {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        })
+    }
+
+    /// Ends the group (a no-op in the shim, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function list, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let summary = group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(summary.min <= summary.median && summary.median <= summary.mean * 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats_both_parts() {
+        let id = BenchmarkId::new("wp1", "all1");
+        assert_eq!(id.to_string(), "wp1/all1");
+    }
+}

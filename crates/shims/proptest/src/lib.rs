@@ -1,0 +1,130 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this in-tree crate re-implements the subset of the proptest 1.x API used
+//! by the workspace's property tests: the [`proptest!`] macro, the
+//! [`strategy::Strategy`] trait with `prop_map`, range / tuple / `Just` /
+//! vec / option / one-of strategies, a minimal character-class string
+//! strategy, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * no shrinking — a failing case reports its inputs (via the panic message
+//!   of the underlying `assert!`) but is not minimised;
+//! * deterministic seeding — every test function derives its seed from its
+//!   own name, so failures reproduce exactly across runs;
+//! * string strategies support only `[class]{min,max}` patterns (character
+//!   ranges and `\n`/`\t`/`\\` escapes), which is all the workspace needs.
+//!
+//! Swap this crate for the real `proptest` in `Cargo.toml` if the
+//! environment ever gains registry access; no test needs to change.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Mirrors the `proptest::prop` module path (`prop::collection`,
+/// `prop::option`).
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Option strategies (`prop::option::of`).
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the CI wall-clock low
+        // while still exercising each property broadly.
+        Self { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed so failures reproduce.
+#[doc(hidden)]
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// block is run against `cases` randomly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( #[test] fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::strategy::TestRng::new(
+                    $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..config.cases {
+                    let _ = case;
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strat) ),+
+        ])
+    };
+}

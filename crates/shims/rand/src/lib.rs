@@ -1,0 +1,156 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this in-tree crate provides the *tiny* subset of the `rand` 0.8 API the
+//! workspace actually uses: [`rngs::StdRng`] seeded through
+//! [`SeedableRng::seed_from_u64`], plus [`Rng::gen_range`] over integer and
+//! float ranges and [`Rng::gen_bool`].
+//!
+//! The generator is SplitMix64 — statistically fine for simulated annealing
+//! and randomized tests, deterministic for a given seed, and obviously not
+//! cryptographic.  Swap this crate for the real `rand` in `Cargo.toml` if the
+//! environment ever gains registry access; no call site needs to change.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Draws a value in `[range.start, range.end)` using `rng`.
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample an empty range");
+                let span = range.end.abs_diff(range.start) as u64;
+                range.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample an empty range");
+                let span = range.end.abs_diff(range.start);
+                range.start.wrapping_add((rng.next_u64() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample an empty range");
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+/// Shim of `rand::Rng`: uniform draws from ranges and Bernoulli draws.
+pub trait Rng {
+    /// A uniform draw from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+/// Shim of `rand::SeedableRng`: deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SampleUniform, SeedableRng};
+    use std::ops::Range;
+
+    /// Shim of `rand::rngs::StdRng`: a seedable SplitMix64 generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        /// The next raw 64-bit output of the generator.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                // Avoid the all-zero state producing a short low-entropy
+                // prefix: mix the seed once.
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+            T::sample_range(self, range)
+        }
+
+        fn gen_bool(&mut self, p: f64) -> bool {
+            self.next_f64() < p.clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let i = rng.gen_range(-50i64..-10);
+            assert!((-50..-10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "{hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

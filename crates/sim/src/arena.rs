@@ -1,0 +1,127 @@
+//! The persistent wire arena backing the simulator's hot loop.
+//!
+//! The seed implementation of [`crate::LidSimulator::step`] rebuilt two
+//! nested `Vec<Vec<_>>` scratch structures (per-shell input tokens and
+//! per-shell output stops) on **every simulated cycle**, which made heap
+//! allocation the dominant cost of the simulator.  [`WireArena`] replaces
+//! them with two flat slabs allocated once at construction time and indexed
+//! through precomputed per-shell port offsets; `step()` then performs zero
+//! heap allocations in steady state.
+//!
+//! Because a validated system description connects every input port to
+//! exactly one channel and every output port to exactly one channel (see
+//! `SystemBuilder::validate`), each slab slot is overwritten by exactly one
+//! channel during every sampling phase — the arena never needs clearing
+//! between cycles.
+
+use wp_core::Token;
+
+/// Flat per-cycle wire state: every shell's sampled input tokens and output
+/// stop bits live in two contiguous slabs, sliced per shell through
+/// precomputed port offsets.
+#[derive(Debug, Clone)]
+pub struct WireArena<V> {
+    /// Sampled input token of every (shell, input-port) pair.
+    inputs: Vec<Token<V>>,
+    /// Sampled stop bit of every (shell, output-port) pair.
+    out_stops: Vec<bool>,
+    /// `in_offsets[i]..in_offsets[i + 1]` is shell `i`'s slice of `inputs`.
+    in_offsets: Vec<usize>,
+    /// `out_offsets[i]..out_offsets[i + 1]` is shell `i`'s slice of
+    /// `out_stops`.
+    out_offsets: Vec<usize>,
+}
+
+impl<V> WireArena<V> {
+    /// Builds the arena for shells with the given port counts, given as
+    /// `(num_inputs, num_outputs)` pairs in process order.
+    pub fn new<I>(ports: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut in_offsets = vec![0];
+        let mut out_offsets = vec![0];
+        for (inputs, outputs) in ports {
+            in_offsets.push(in_offsets.last().unwrap() + inputs);
+            out_offsets.push(out_offsets.last().unwrap() + outputs);
+        }
+        let mut inputs = Vec::new();
+        inputs.resize_with(*in_offsets.last().unwrap(), || Token::Void);
+        Self {
+            inputs,
+            out_stops: vec![false; *out_offsets.last().unwrap()],
+            in_offsets,
+            out_offsets,
+        }
+    }
+
+    /// Number of shells the arena was laid out for.
+    pub fn num_shells(&self) -> usize {
+        self.in_offsets.len() - 1
+    }
+
+    /// Total number of input-port slots across all shells.
+    pub fn num_input_slots(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Stores the token delivered to input port `port` of shell `shell` this
+    /// cycle.
+    #[inline]
+    pub fn set_input(&mut self, shell: usize, port: usize, token: Token<V>) {
+        debug_assert!(port < self.in_offsets[shell + 1] - self.in_offsets[shell]);
+        let slot = self.in_offsets[shell] + port;
+        self.inputs[slot] = token;
+    }
+
+    /// Stores the stop observed on output port `port` of shell `shell` this
+    /// cycle.
+    #[inline]
+    pub fn set_out_stop(&mut self, shell: usize, port: usize, stop: bool) {
+        debug_assert!(port < self.out_offsets[shell + 1] - self.out_offsets[shell]);
+        let slot = self.out_offsets[shell] + port;
+        self.out_stops[slot] = stop;
+    }
+
+    /// The input tokens sampled for shell `shell` this cycle, in port order.
+    #[inline]
+    pub fn inputs_of(&self, shell: usize) -> &[Token<V>] {
+        &self.inputs[self.in_offsets[shell]..self.in_offsets[shell + 1]]
+    }
+
+    /// The output stops sampled for shell `shell` this cycle, in port order.
+    #[inline]
+    pub fn out_stops_of(&self, shell: usize) -> &[bool] {
+        &self.out_stops[self.out_offsets[shell]..self.out_offsets[shell + 1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_follow_the_port_layout() {
+        // Three shells: (2 in, 1 out), (0 in, 2 out), (1 in, 0 out).
+        let mut arena: WireArena<u64> = WireArena::new([(2, 1), (0, 2), (1, 0)]);
+        assert_eq!(arena.num_shells(), 3);
+        assert_eq!(arena.num_input_slots(), 3);
+        arena.set_input(0, 1, Token::Valid(7));
+        arena.set_input(2, 0, Token::Valid(9));
+        arena.set_out_stop(1, 1, true);
+
+        assert_eq!(arena.inputs_of(0), &[Token::Void, Token::Valid(7)]);
+        assert_eq!(arena.inputs_of(1), &[] as &[Token<u64>]);
+        assert_eq!(arena.inputs_of(2), &[Token::Valid(9)]);
+        assert_eq!(arena.out_stops_of(0), &[false]);
+        assert_eq!(arena.out_stops_of(1), &[false, true]);
+        assert_eq!(arena.out_stops_of(2), &[] as &[bool]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_port_is_rejected_in_debug() {
+        let mut arena: WireArena<u64> = WireArena::new([(1, 1)]);
+        arena.set_input(0, 1, Token::Valid(1));
+    }
+}

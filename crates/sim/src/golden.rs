@@ -102,7 +102,7 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
             .iter()
             .map(|p| vec![None; p.num_inputs()])
             .collect();
-        for (c, v) in self.channels.iter().zip(values.into_iter()) {
+        for (c, v) in self.channels.iter().zip(values) {
             inputs[c.dst][c.dst_port] = Some(v);
         }
         for (p, ins) in self.processes.iter_mut().zip(inputs.iter()) {
@@ -134,7 +134,6 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -204,7 +203,10 @@ mod tests {
     fn max_cycles_guard_triggers() {
         let mut sim = GoldenSimulator::new(ring()).unwrap();
         let err = sim.run_until_halt(0, 10).unwrap_err();
-        assert!(matches!(err, SimError::MaxCyclesExceeded { max_cycles: 10 }));
+        assert!(matches!(
+            err,
+            SimError::MaxCyclesExceeded { max_cycles: 10 }
+        ));
         assert_eq!(sim.cycles(), 10);
     }
 

@@ -15,6 +15,15 @@
 //! functional correctness is established by comparing the τ-filtered channel
 //! traces of the two simulators with [`wp_core::check_equivalence`].
 //!
+//! Two more pieces support experiments at scale:
+//!
+//! * [`SweepRunner`] runs many independent `(ShellConfig × relay-station
+//!   assignment × program)` scenarios across `std::thread` workers and
+//!   collects one [`LidReport`] per scenario;
+//! * [`NaiveSimulator`] preserves the seed (allocation-heavy) simulator step
+//!   as the reference the allocation-free [`LidSimulator`] kernel is
+//!   property-tested and benchmarked against.
+//!
 //! ```
 //! use wp_core::{Process, ShellConfig};
 //! use wp_sim::{GoldenSimulator, LidSimulator, SystemBuilder};
@@ -46,12 +55,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod golden;
 mod lid;
+mod naive;
 mod spec;
+mod sweep;
 #[cfg(test)]
 mod testutil;
 
+pub use arena::WireArena;
 pub use golden::GoldenSimulator;
 pub use lid::{LidReport, LidSimulator, DEFAULT_DEADLOCK_WINDOW};
+pub use naive::NaiveSimulator;
 pub use spec::{ChannelId, ChannelSpec, ProcessId, SimError, SystemBuilder};
+pub use sweep::{RunGoal, Scenario, SweepError, SweepOutcome, SweepRunner};

@@ -6,9 +6,30 @@
 //! from the registered outputs of shells and relay stations, then updates
 //! every component with the sampled values.  No combinational feedback path
 //! exists because both data validity and back-pressure are registered.
+//!
+//! # The allocation-free kernel
+//!
+//! [`LidSimulator::step`] is the hottest loop of the whole workspace (every
+//! experiment of the paper is some number of `step()` calls), so it is
+//! written to perform **zero heap allocations in steady state**:
+//!
+//! * the per-cycle wire samples live in a persistent [`WireArena`] built
+//!   once at construction time (flat slabs + precomputed port offsets)
+//!   instead of per-cycle nested `Vec`s;
+//! * wires are sampled through `output_ref` borrows; a token is cloned only
+//!   where it genuinely fans out (into a relay station, an input queue or a
+//!   recorded trace);
+//! * the per-cycle fired count is returned by the shell update phase and
+//!   folded into one monotonic counter, instead of re-scanning every shell's
+//!   firing counter twice per cycle (and twice more per `drain` cycle).
+//!
+//! The seed implementation survives as [`crate::NaiveSimulator`]: the
+//! kernel-equivalence property tests assert cycle-identical behaviour and
+//! the criterion benches measure the speedup against it.
 
 use wp_core::{ChannelTrace, Process, RelayChain, Shell, ShellConfig, ShellStats, Token};
 
+use crate::arena::WireArena;
 use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
 
 /// How many consecutive cycles without a single firing are tolerated before
@@ -22,6 +43,9 @@ pub struct LidReport {
     pub cycles: u64,
     /// Firings of every process, indexed by [`ProcessId`].
     pub firings: Vec<u64>,
+    /// Total firings across all processes (the kernel's monotonic counter;
+    /// always equal to the sum of `firings`).
+    pub total_firings: u64,
     /// Stale tokens discarded by every shell (WP2 only), indexed by process.
     pub discarded: Vec<u64>,
     /// Throughput (firings / cycles) of every process.
@@ -41,8 +65,13 @@ pub struct LidSimulator<V> {
     channels: Vec<ChannelSpec>,
     chains: Vec<RelayChain<V>>,
     traces: Vec<ChannelTrace<V>>,
+    /// Persistent per-cycle wire state (see the module docs): allocated once
+    /// in [`LidSimulator::new`], reused by every [`LidSimulator::step`].
+    arena: WireArena<V>,
     trace_enabled: bool,
     cycles: u64,
+    /// Monotonic system-wide firing counter, incremented by the per-cycle
+    /// fired count returned from the shell update phase.
     total_firings: u64,
     cycles_since_firing: u64,
     deadlock_window: u64,
@@ -70,7 +99,7 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
     pub fn new(builder: SystemBuilder<V>, config: ShellConfig) -> Result<Self, SimError> {
         builder.validate()?;
         let (processes, channels) = builder.into_parts();
-        let shells = processes
+        let shells: Vec<Shell<V>> = processes
             .into_iter()
             .map(|p| Shell::new(p, config))
             .collect();
@@ -82,11 +111,13 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
             .iter()
             .map(|c| ChannelTrace::new(c.name.clone()))
             .collect();
+        let arena = WireArena::new(shells.iter().map(|s| (s.num_inputs(), s.num_outputs())));
         Ok(Self {
             shells,
             channels,
             chains,
             traces,
+            arena,
             trace_enabled: true,
             cycles: 0,
             total_firings: 0,
@@ -113,6 +144,12 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
     /// Number of firings performed by a process so far.
     pub fn firings(&self, id: ProcessId) -> u64 {
         self.shells[id].firings()
+    }
+
+    /// Total firings across all processes so far (the kernel's monotonic
+    /// counter; always equal to the sum of the per-shell counters).
+    pub fn total_firings(&self) -> u64 {
+        self.total_firings
     }
 
     /// The recorded channel traces (one per channel, in channel order).
@@ -146,61 +183,69 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
 
     /// Simulates one clock cycle.
     ///
+    /// Performs no heap allocation in steady state when channel-trace
+    /// recording is disabled ([`LidSimulator::set_trace_enabled`]): the wire
+    /// samples live in the persistent [`WireArena`] and all component
+    /// updates operate on borrowed slices and slots of it (see the module
+    /// docs).  With traces enabled — the default — each accepted token is
+    /// additionally cloned into its channel's trace vector.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Protocol`] if a latency-insensitive protocol
     /// violation is detected (this indicates a bug in the system assembly,
     /// not a data-dependent condition).
     pub fn step(&mut self) -> Result<(), SimError> {
-        let n_proc = self.shells.len();
+        let Self {
+            shells,
+            channels,
+            chains,
+            traces,
+            arena,
+            trace_enabled,
+            ..
+        } = self;
 
-        // Phase 1: sample every wire from the registered outputs.
-        let mut shell_inputs: Vec<Vec<Token<V>>> = (0..n_proc)
-            .map(|i| vec![Token::Void; self.shells[i].num_inputs()])
-            .collect();
-        let mut shell_out_stops: Vec<Vec<bool>> = (0..n_proc)
-            .map(|i| vec![false; self.shells[i].num_outputs()])
-            .collect();
-        // Producer-side tokens and consumer-side stops per channel, needed
-        // again for the chain updates in phase 2.
-        let mut producer_tokens: Vec<Token<V>> = Vec::with_capacity(self.channels.len());
-        let mut consumer_stops: Vec<bool> = Vec::with_capacity(self.channels.len());
+        // Phase 1: per channel, sample the wires from the registered outputs
+        // into the arena, then update the chain in place.  Validation
+        // guarantees every (shell, port) slot is written by exactly one
+        // channel, so the arena needs no clearing.  Updating each chain
+        // right after it is sampled is safe because a chain is only ever
+        // read through its own channel, and the shells (whose registered
+        // outputs the chains consume) are not updated until phase 2.
+        for (idx, ch) in channels.iter().enumerate() {
+            let prod_token = shells[ch.src].output_ref(ch.src_port);
+            let cons_stop = shells[ch.dst].stop_out(ch.dst_port);
+            let delivered = chains[idx].output_ref(prod_token);
+            let upstream_stop = chains[idx].stop_out(cons_stop);
 
-        for (idx, ch) in self.channels.iter().enumerate() {
-            let prod_token = self.shells[ch.src].output(ch.src_port);
-            let cons_stop = self.shells[ch.dst].stop_out(ch.dst_port);
-            let delivered = self.chains[idx].output(&prod_token);
-            let upstream_stop = self.chains[idx].stop_out(cons_stop);
-
-            if self.trace_enabled {
+            if *trace_enabled {
                 let accepted = delivered.is_valid() && !cons_stop;
-                self.traces[idx].record(if accepted {
+                traces[idx].record(if accepted {
                     delivered.clone()
                 } else {
                     Token::Void
                 });
             }
 
-            shell_inputs[ch.dst][ch.dst_port] = delivered;
-            shell_out_stops[ch.src][ch.src_port] = upstream_stop;
-            producer_tokens.push(prod_token);
-            consumer_stops.push(cons_stop);
+            arena.set_input(ch.dst, ch.dst_port, delivered.clone());
+            arena.set_out_stop(ch.src, ch.src_port, upstream_stop);
+            chains[idx].update(prod_token, cons_stop)?;
         }
 
-        // Phase 2: update every shell and every relay chain.
-        let firings_before: u64 = self.shells.iter().map(Shell::firings).sum();
-        for (i, shell) in self.shells.iter_mut().enumerate() {
-            shell.update(&shell_inputs[i], &shell_out_stops[i])?;
+        // Phase 2: update every shell from its arena slices.  The shells
+        // report whether they fired, so one add per shell replaces the four
+        // O(n_shells) firing scans of the seed step/drain loops.
+        let mut fired_this_cycle = 0u64;
+        for (i, shell) in shells.iter_mut().enumerate() {
+            let fired = shell.update(arena.inputs_of(i), arena.out_stops_of(i))?;
+            fired_this_cycle += u64::from(fired);
         }
-        for (idx, chain) in self.chains.iter_mut().enumerate() {
-            chain.update(producer_tokens[idx].clone(), consumer_stops[idx])?;
-        }
-        let firings_after: u64 = self.shells.iter().map(Shell::firings).sum();
 
         self.cycles += 1;
-        if firings_after > firings_before {
+        self.total_firings += fired_this_cycle;
+        if fired_this_cycle > 0 {
             self.cycles_since_firing = 0;
-            self.total_firings = firings_after;
         } else {
             self.cycles_since_firing += 1;
         }
@@ -282,11 +327,10 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
         let mut extra = 0;
         let mut idle = 0;
         while idle < idle_cycles && extra < max_extra {
-            let before: u64 = self.shells.iter().map(Shell::firings).sum();
+            let before = self.total_firings;
             self.step()?;
             extra += 1;
-            let after: u64 = self.shells.iter().map(Shell::firings).sum();
-            if after > before {
+            if self.total_firings > before {
                 idle = 0;
             } else {
                 idle += 1;
@@ -298,6 +342,11 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
     /// Builds a summary report of the run so far.
     pub fn report(&self) -> LidReport {
         let firings: Vec<u64> = self.shells.iter().map(Shell::firings).collect();
+        debug_assert_eq!(
+            firings.iter().sum::<u64>(),
+            self.total_firings,
+            "the kernel's monotonic firing counter drifted from the shell stats"
+        );
         let discarded: Vec<u64> = self
             .shells
             .iter()
@@ -316,6 +365,7 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
         LidReport {
             cycles: self.cycles,
             firings,
+            total_firings: self.total_firings,
             discarded,
             throughput,
         }
@@ -329,7 +379,11 @@ mod tests {
     use crate::testutil::{Forward, RingStage, Terminator};
     use wp_core::{check_equivalence, SequenceSource, SyncPolicy};
 
-    fn ring_builder(stages: usize, rs_on_first_edge: usize, skip_period: Option<u64>) -> SystemBuilder<u64> {
+    fn ring_builder(
+        stages: usize,
+        rs_on_first_edge: usize,
+        skip_period: Option<u64>,
+    ) -> SystemBuilder<u64> {
         let mut b = SystemBuilder::new();
         let ids: Vec<_> = (0..stages)
             .map(|i| {
@@ -346,14 +400,7 @@ mod tests {
             .collect();
         for i in 0..stages {
             let rs = if i == 0 { rs_on_first_edge } else { 0 };
-            b.connect(
-                format!("e{i}"),
-                ids[i],
-                0,
-                ids[(i + 1) % stages],
-                0,
-                rs,
-            );
+            b.connect(format!("e{i}"), ids[i], 0, ids[(i + 1) % stages], 0, rs);
         }
         b
     }
@@ -416,10 +463,7 @@ mod tests {
         for policy in [SyncPolicy::Strict, SyncPolicy::Oracle] {
             let mut golden = GoldenSimulator::new(ring_builder(2, 0, Some(3))).unwrap();
             golden.run_for(40);
-            let config = match policy {
-                SyncPolicy::Strict => ShellConfig::strict(),
-                SyncPolicy::Oracle => ShellConfig::oracle(),
-            };
+            let config = ShellConfig::for_policy(policy);
             let mut lid = LidSimulator::new(ring_builder(2, 1, Some(3)), config).unwrap();
             lid.run_until_firings(0, 40, 10_000).unwrap();
             let report = check_equivalence(golden.traces(), lid.traces());
@@ -481,7 +525,10 @@ mod tests {
     fn max_cycles_is_enforced() {
         let mut lid = LidSimulator::new(ring_builder(2, 0, None), ShellConfig::strict()).unwrap();
         let err = lid.run_until_halt(0, 25).unwrap_err();
-        assert!(matches!(err, SimError::MaxCyclesExceeded { max_cycles: 25 }));
+        assert!(matches!(
+            err,
+            SimError::MaxCyclesExceeded { max_cycles: 25 }
+        ));
     }
 }
 
@@ -507,7 +554,10 @@ mod drain_tests {
         let before = sim.firings(2);
         let extra = sim.drain(16, 10_000).unwrap();
         assert!(extra > 0);
-        assert!(sim.firings(2) > before, "terminator kept firing while draining");
+        assert!(
+            sim.firings(2) > before,
+            "terminator kept firing while draining"
+        );
         // Draining again immediately is a no-op apart from the idle window.
         let extra2 = sim.drain(8, 10_000).unwrap();
         assert_eq!(extra2, 8);

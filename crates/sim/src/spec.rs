@@ -4,7 +4,7 @@
 use std::error::Error;
 use std::fmt;
 
-use wp_core::{ProtocolError, Process};
+use wp_core::{Process, ProtocolError};
 use wp_netlist::{Netlist, NodeId};
 
 /// Identifier of a process inside a [`SystemBuilder`] (also its index).

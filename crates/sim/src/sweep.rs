@@ -1,0 +1,447 @@
+//! Multi-scenario sweeps over the wire-pipelined simulator.
+//!
+//! Every experiment of the paper is a *sweep*: the same system factory
+//! evaluated under many `(ShellConfig × relay-station assignment ×
+//! program)` combinations.  [`SweepRunner`] runs such scenarios across
+//! `std::thread` workers — each scenario builds its own [`LidSimulator`]
+//! inside a worker, so no simulator state is ever shared — and collects one
+//! [`LidReport`] (plus an optional caller-defined post-run extraction) per
+//! scenario.
+//!
+//! Results are written to per-scenario slots, so their order always matches
+//! the submission order and is independent of the worker count; the
+//! `sweep_is_deterministic_across_worker_counts` test pins this down.
+//!
+//! ```
+//! use wp_core::{RecordingSink, ShellConfig};
+//! use wp_sim::{RunGoal, Scenario, SweepRunner, SystemBuilder};
+//!
+//! // The same two-block ring, swept over both shell policies.
+//! let scenario = |config: ShellConfig| {
+//!     Scenario::<u64>::new(
+//!         "ring",
+//!         config,
+//!         RunGoal::ForCycles(10),
+//!         || {
+//!             let mut b = SystemBuilder::new();
+//!             let a = b.add_process(Box::new(RecordingSink::new("a", 0u64)));
+//!             let c = b.add_process(Box::new(RecordingSink::new("b", 0u64)));
+//!             b.connect("ac", a, 0, c, 0, 1);
+//!             b.connect("ca", c, 0, a, 0, 0);
+//!             b
+//!         },
+//!     )
+//! };
+//! let outcomes = SweepRunner::new(2).run(vec![
+//!     scenario(ShellConfig::strict()),
+//!     scenario(ShellConfig::oracle()),
+//! ]);
+//! assert_eq!(outcomes.len(), 2);
+//! assert!(outcomes.iter().all(|o| o.is_ok()));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wp_core::ShellConfig;
+
+use crate::lid::{LidReport, LidSimulator};
+use crate::spec::{ProcessId, SimError, SystemBuilder};
+
+/// When a sweep scenario stops simulating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunGoal {
+    /// Run until the given process reports a halted state.
+    UntilHalt {
+        /// Process whose halt ends the run.
+        process: ProcessId,
+        /// Cycle budget before [`SimError::MaxCyclesExceeded`].
+        max_cycles: u64,
+    },
+    /// Run until the given process has fired at least `target` times.
+    UntilFirings {
+        /// Observed process.
+        process: ProcessId,
+        /// Firing count ending the run.
+        target: u64,
+        /// Cycle budget before [`SimError::MaxCyclesExceeded`].
+        max_cycles: u64,
+    },
+    /// Run for exactly this many cycles.
+    ForCycles(u64),
+}
+
+/// A boxed system factory, callable from any worker thread.
+type BuildFn<V> = Box<dyn Fn() -> SystemBuilder<V> + Send + Sync>;
+
+/// A boxed post-run extraction, callable from any worker thread.
+type PostFn<V, T> = Box<dyn Fn(&LidSimulator<V>) -> T + Send + Sync>;
+
+/// One independent simulation of a sweep: a system factory plus the shell
+/// configuration, run goal and optional post-processing applied to it.
+///
+/// The factory runs inside a worker thread, so it must be `Send + Sync`;
+/// the processes it creates never cross a thread boundary.
+pub struct Scenario<V, T = ()> {
+    label: String,
+    config: ShellConfig,
+    goal: RunGoal,
+    build: BuildFn<V>,
+    drain: Option<(u64, u64)>,
+    post: Option<PostFn<V, T>>,
+    trace_enabled: bool,
+}
+
+impl<V, T> fmt::Debug for Scenario<V, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("label", &self.label)
+            .field("config", &self.config)
+            .field("goal", &self.goal)
+            .field("drain", &self.drain)
+            .field("trace_enabled", &self.trace_enabled)
+            .finish()
+    }
+}
+
+impl<V> Scenario<V> {
+    /// Creates a scenario from its label, shell configuration, run goal and
+    /// system factory.
+    ///
+    /// Channel traces are disabled by default (sweeps compare cycle counts
+    /// and reports, not realisations); re-enable with
+    /// [`Scenario::with_traces`].  The post-extraction type starts as `()`;
+    /// [`Scenario::with_post`] changes it.
+    pub fn new(
+        label: impl Into<String>,
+        config: ShellConfig,
+        goal: RunGoal,
+        build: impl Fn() -> SystemBuilder<V> + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            config,
+            goal,
+            build: Box::new(build),
+            drain: None,
+            post: None,
+            trace_enabled: false,
+        }
+    }
+}
+
+impl<V, T> Scenario<V, T> {
+    /// The scenario label (used in outcomes and error reports).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// After the goal is reached, lets in-flight tokens drain with
+    /// [`LidSimulator::drain`]`(idle_cycles, max_extra)` before the report
+    /// and post-extraction are taken.
+    #[must_use]
+    pub fn with_drain(mut self, idle_cycles: u64, max_extra: u64) -> Self {
+        self.drain = Some((idle_cycles, max_extra));
+        self
+    }
+
+    /// Enables channel-trace recording for this scenario.
+    #[must_use]
+    pub fn with_traces(mut self) -> Self {
+        self.trace_enabled = true;
+        self
+    }
+
+    /// Extracts a caller-defined value from the finished simulator (e.g.
+    /// architectural state via process downcasts); it is returned in
+    /// [`SweepOutcome::post`].
+    #[must_use]
+    pub fn with_post<U>(
+        self,
+        post: impl Fn(&LidSimulator<V>) -> U + Send + Sync + 'static,
+    ) -> Scenario<V, U> {
+        Scenario {
+            label: self.label,
+            config: self.config,
+            goal: self.goal,
+            build: self.build,
+            drain: self.drain,
+            post: Some(Box::new(post)),
+            trace_enabled: self.trace_enabled,
+        }
+    }
+}
+
+/// The result of one completed sweep scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome<T = ()> {
+    /// The scenario label.
+    pub label: String,
+    /// Cycles elapsed when the run goal was reached (drain cycles, if any,
+    /// are excluded here but included in `report.cycles`).
+    pub cycles_to_goal: u64,
+    /// The per-scenario simulator report.
+    pub report: LidReport,
+    /// The value produced by [`Scenario::with_post`], if one was installed.
+    pub post: Option<T>,
+}
+
+/// A scenario that failed to build or simulate.
+#[derive(Debug)]
+pub struct SweepError {
+    /// The label of the failing scenario.
+    pub label: String,
+    /// The underlying simulator error.
+    pub error: SimError,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario '{}' failed: {}", self.label, self.error)
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Runs independent scenarios across a fixed-size pool of `std::thread`
+/// workers (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    workers: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl SweepRunner {
+    /// Creates a runner with the given worker count; `0` selects
+    /// [`std::thread::available_parallelism`].
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            workers
+        };
+        Self { workers }
+    }
+
+    /// The number of worker threads this runner uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every scenario and returns their outcomes in submission order
+    /// (the order is independent of the worker count).
+    pub fn run<V, T>(
+        &self,
+        scenarios: Vec<Scenario<V, T>>,
+    ) -> Vec<Result<SweepOutcome<T>, SweepError>>
+    where
+        V: Clone + PartialEq,
+        T: Send,
+    {
+        type Slot<T> = Mutex<Option<Result<SweepOutcome<T>, SweepError>>>;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Slot<T>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(scenarios.len()).max(1);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = scenarios.get(index) else {
+                        break;
+                    };
+                    let outcome = execute(scenario);
+                    *slots[index].lock().expect("sweep slot poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep slot poisoned")
+                    .expect("every scenario index was claimed by a worker")
+            })
+            .collect()
+    }
+}
+
+/// Builds, runs and summarises one scenario (always inside a worker thread).
+fn execute<V, T>(scenario: &Scenario<V, T>) -> Result<SweepOutcome<T>, SweepError>
+where
+    V: Clone + PartialEq,
+{
+    let fail = |error: SimError| SweepError {
+        label: scenario.label.clone(),
+        error,
+    };
+    let mut sim = LidSimulator::new((scenario.build)(), scenario.config).map_err(fail)?;
+    sim.set_trace_enabled(scenario.trace_enabled);
+    let cycles_to_goal = match scenario.goal {
+        RunGoal::UntilHalt {
+            process,
+            max_cycles,
+        } => sim.run_until_halt(process, max_cycles).map_err(fail)?,
+        RunGoal::UntilFirings {
+            process,
+            target,
+            max_cycles,
+        } => sim
+            .run_until_firings(process, target, max_cycles)
+            .map_err(fail)?,
+        RunGoal::ForCycles(cycles) => {
+            sim.run_for(cycles).map_err(fail)?;
+            sim.cycles()
+        }
+    };
+    if let Some((idle_cycles, max_extra)) = scenario.drain {
+        sim.drain(idle_cycles, max_extra).map_err(fail)?;
+    }
+    let post = scenario.post.as_ref().map(|f| f(&sim));
+    Ok(SweepOutcome {
+        label: scenario.label.clone(),
+        cycles_to_goal,
+        report: sim.report(),
+        post,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::RingStage;
+
+    /// A ring of `stages` stages with `relay_stations` on the first edge.
+    fn ring(stages: usize, relay_stations: usize) -> SystemBuilder<u64> {
+        let mut b = SystemBuilder::new();
+        let ids: Vec<_> = (0..stages)
+            .map(|i| b.add_process(Box::new(RingStage::new(&format!("s{i}")))))
+            .collect();
+        for i in 0..stages {
+            let rs = if i == 0 { relay_stations } else { 0 };
+            b.connect(format!("e{i}"), ids[i], 0, ids[(i + 1) % stages], 0, rs);
+        }
+        b
+    }
+
+    fn ring_scenarios() -> Vec<Scenario<u64>> {
+        let mut scenarios = Vec::new();
+        for stages in 2..=4usize {
+            for rs in 0..=2usize {
+                scenarios.push(Scenario::new(
+                    format!("ring_m{stages}_n{rs}"),
+                    ShellConfig::strict(),
+                    RunGoal::UntilFirings {
+                        process: 0,
+                        target: 60,
+                        max_cycles: 50_000,
+                    },
+                    move || ring(stages, rs),
+                ));
+            }
+        }
+        scenarios
+    }
+
+    /// Sequential reference: run every scenario directly, without the
+    /// runner.
+    fn sequential_outcomes() -> Vec<SweepOutcome> {
+        ring_scenarios()
+            .iter()
+            .map(|s| execute(s).expect("ring scenario completes"))
+            .collect()
+    }
+
+    #[test]
+    fn results_are_independent_of_worker_count_and_match_sequential() {
+        let reference = sequential_outcomes();
+        for workers in [1, 2, 3, 8] {
+            let outcomes = SweepRunner::new(workers).run(ring_scenarios());
+            let outcomes: Vec<SweepOutcome> = outcomes
+                .into_iter()
+                .map(|o| o.expect("ring scenario completes"))
+                .collect();
+            assert_eq!(outcomes, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn outcomes_preserve_submission_order() {
+        let outcomes = SweepRunner::new(4).run(ring_scenarios());
+        let labels: Vec<_> = outcomes
+            .iter()
+            .map(|o| o.as_ref().expect("completes").label.clone())
+            .collect();
+        let expected: Vec<_> = ring_scenarios()
+            .iter()
+            .map(|s| s.label().to_string())
+            .collect();
+        assert_eq!(labels, expected);
+    }
+
+    #[test]
+    fn throughput_of_swept_rings_follows_the_loop_law() {
+        for outcome in SweepRunner::new(2).run(ring_scenarios()) {
+            let outcome = outcome.expect("ring scenario completes");
+            // Label encodes m and n; Th = m / (m + n).
+            let (m, n) = outcome
+                .label
+                .strip_prefix("ring_m")
+                .and_then(|rest| rest.split_once("_n"))
+                .map(|(m, n)| (m.parse::<f64>().unwrap(), n.parse::<f64>().unwrap()))
+                .expect("label encodes the ring shape");
+            let measured = outcome.report.throughput_of(0);
+            let law = m / (m + n);
+            assert!(
+                (measured - law).abs() < 0.03,
+                "{}: measured {measured:.3} vs law {law:.3}",
+                outcome.label
+            );
+        }
+    }
+
+    #[test]
+    fn failing_scenarios_report_their_label() {
+        // A scenario that exceeds its cycle budget.
+        let scenarios = vec![Scenario::<u64>::new(
+            "too_short",
+            ShellConfig::strict(),
+            RunGoal::UntilFirings {
+                process: 0,
+                target: 1_000,
+                max_cycles: 10,
+            },
+            || ring(2, 0),
+        )];
+        let outcome = &SweepRunner::new(2).run(scenarios)[0];
+        let err = outcome.as_ref().expect_err("budget exceeded");
+        assert_eq!(err.label, "too_short");
+        assert!(matches!(err.error, SimError::MaxCyclesExceeded { .. }));
+        assert!(err.to_string().contains("too_short"));
+    }
+
+    #[test]
+    fn post_extraction_sees_the_finished_simulator() {
+        let scenarios = vec![Scenario::<u64>::new(
+            "with_post",
+            ShellConfig::strict(),
+            RunGoal::ForCycles(25),
+            || ring(2, 1),
+        )
+        .with_post(|sim| sim.cycles())];
+        let outcome = SweepRunner::new(1).run(scenarios).remove(0).expect("runs");
+        assert_eq!(outcome.post, Some(25));
+        assert_eq!(outcome.report.cycles, 25);
+    }
+}

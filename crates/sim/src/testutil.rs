@@ -129,15 +129,12 @@ impl Process<u64> for RingStage {
     }
     fn required_inputs(&self) -> PortSet {
         match self.skip_period {
-            Some(p) if self.fires % p != 0 => PortSet::empty(),
+            Some(p) if !self.fires.is_multiple_of(p) => PortSet::empty(),
             _ => PortSet::all(1),
         }
     }
     fn fire(&mut self, inputs: &[Option<u64>]) {
-        let needed = match self.skip_period {
-            Some(p) if self.fires % p != 0 => false,
-            _ => true,
-        };
+        let needed = !matches!(self.skip_period, Some(p) if !self.fires.is_multiple_of(p));
         if needed {
             if let Some(v) = inputs[0] {
                 self.value = v + 1;

@@ -3,14 +3,19 @@
 //! oracle wrappers (WP2) can push the throughput beyond the m/(m+n) bound
 //! that limits the classical wrappers (WP1).
 //!
-//! Run with `cargo run --example matmul_sweep --release` (a couple of seconds
-//! in release mode).
+//! All 24 wire-pipelined runs (4 links × 3 relay-station counts × 2 shell
+//! policies) execute as one `wp_sim::SweepRunner` sweep built from
+//! `wp_bench::soc_scenario`; every scenario validates its final data memory
+//! against the reference result.
+//!
+//! Run with `cargo run --example matmul_sweep --release` (a couple of
+//! seconds in release mode).
 
+use wp_bench::soc_scenario;
 use wp_core::SyncPolicy;
 use wp_netlist::predicted_throughput;
-use wp_proc::{
-    build_soc, matrix_multiply, run_golden_soc, run_wp_soc, Link, Organization, RsConfig,
-};
+use wp_proc::{build_soc, matrix_multiply, run_golden_soc, Link, Organization, RsConfig};
+use wp_sim::SweepRunner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const MAX_CYCLES: u64 = 20_000_000;
@@ -22,20 +27,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         golden.instructions, golden.cycles
     );
 
+    // One scenario per (link, RS count, policy).
+    let links = [Link::RfDc, Link::AluRf, Link::AluDc, Link::CuIc];
+    let mut scenarios = Vec::new();
+    for link in links {
+        for n_rs in 1..=3usize {
+            for policy in [SyncPolicy::Strict, SyncPolicy::Oracle] {
+                scenarios.push(soc_scenario(
+                    format!("{}x{n_rs}/{}", link.label(), policy.label()),
+                    &workload,
+                    organization,
+                    RsConfig::single(link, n_rs),
+                    policy,
+                ));
+            }
+        }
+    }
+    let runner = SweepRunner::default();
+    eprintln!(
+        "sweeping {} scenarios across {} worker thread(s)",
+        scenarios.len(),
+        runner.workers()
+    );
+    let mut outcomes = runner.run(scenarios).into_iter();
+
     println!(
         "{:<10} {:>4} {:>9} {:>8} {:>8} {:>12}",
         "link", "RS", "law WP1", "Th WP1", "Th WP2", "WP2 vs WP1"
     );
-    for link in [Link::RfDc, Link::AluRf, Link::AluDc, Link::CuIc] {
+    for link in links {
         for n_rs in 1..=3usize {
             let rs = RsConfig::single(link, n_rs);
             let law = predicted_throughput(&build_soc(&workload, organization, &rs).to_netlist());
-            let wp1 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Strict, MAX_CYCLES)?;
-            let wp2 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Oracle, MAX_CYCLES)?;
-            assert!(workload.check(&wp1.memory));
-            assert!(workload.check(&wp2.memory));
-            let th1 = wp1.throughput_vs(golden.cycles);
-            let th2 = wp2.throughput_vs(golden.cycles);
+            let wp1 = outcomes.next().expect("one outcome per scenario")?;
+            let wp2 = outcomes.next().expect("one outcome per scenario")?;
+            for outcome in [&wp1, &wp2] {
+                let state = outcome.post.as_ref().expect("post extraction ran");
+                assert!(
+                    workload.check(&state.memory),
+                    "{}: wrong result",
+                    outcome.label
+                );
+            }
+            let th1 = golden.cycles as f64 / wp1.cycles_to_goal as f64;
+            let th2 = golden.cycles as f64 / wp2.cycles_to_goal as f64;
             println!(
                 "{:<10} {n_rs:>4} {law:>9.3} {th1:>8.3} {th2:>8.3} {:>+11.0}%",
                 link.label(),

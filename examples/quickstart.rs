@@ -31,14 +31,14 @@ impl Process<u64> for Controller {
         self.value
     }
     fn required_inputs(&self) -> PortSet {
-        if self.steps % 4 == 0 {
+        if self.steps.is_multiple_of(4) {
             PortSet::all(1)
         } else {
             PortSet::empty()
         }
     }
     fn fire(&mut self, inputs: &[Option<u64>]) {
-        if self.steps % 4 == 0 {
+        if self.steps.is_multiple_of(4) {
             if let Some(answer) = inputs[0] {
                 self.value = answer;
             }

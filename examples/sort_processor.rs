@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "golden pipelined run: {} instructions in {} cycles",
         golden.instructions, golden.cycles
     );
-    println!("sorted result: {:?}\n", &golden.memory[..workload.expected_memory.len()]);
+    println!(
+        "sorted result: {:?}\n",
+        &golden.memory[..workload.expected_memory.len()]
+    );
     assert!(workload.check(&golden.memory[..workload.expected_memory.len()]));
 
     let configs = [
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{label:<18} {:>10} {:>10} {th1:>8.3} {th2:>8.3} {:>+11.0}%",
             wp1.cycles,
             wp2.cycles,
-            if th1 > 0.0 { 100.0 * (th2 - th1) / th1 } else { 0.0 }
+            if th1 > 0.0 {
+                100.0 * (th2 - th1) / th1
+            } else {
+                0.0
+            }
         );
     }
     Ok(())

@@ -26,7 +26,7 @@ impl Stage {
     }
     fn needs_input(&self) -> bool {
         match self.period {
-            Some(p) => self.fires % p == 0,
+            Some(p) => self.fires.is_multiple_of(p),
             None => true,
         }
     }

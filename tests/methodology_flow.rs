@@ -66,10 +66,12 @@ fn floorplan_driven_relay_budget_runs_and_respects_the_prediction() {
     // The annealer's prediction uses the per-channel budget; the per-link
     // configuration rounds up, so the measured WP1 throughput may only be
     // equal or lower — but never higher than the law for its own netlist.
-    let law = wp_netlist::predicted_throughput(
-        &build_soc(&workload, organization, &rs).to_netlist(),
+    let law =
+        wp_netlist::predicted_throughput(&build_soc(&workload, organization, &rs).to_netlist());
+    assert!(
+        th1 <= law + 0.05,
+        "WP1 {th1:.3} should not beat the law {law:.3}"
     );
-    assert!(th1 <= law + 0.05, "WP1 {th1:.3} should not beat the law {law:.3}");
     assert!(th2 >= th1 - 1e-9, "WP2 must not lose to WP1");
 }
 
@@ -102,7 +104,12 @@ fn wrapper_overhead_stays_in_the_paper_ballpark() {
     let reports = case_study_overhead_sweep(&CellLibrary::default());
     assert!(!reports.is_empty());
     for r in &reports {
-        assert!(r.overhead_percent < 2.0, "{}: {:.2}%", r.label, r.overhead_percent);
+        assert!(
+            r.overhead_percent < 2.0,
+            "{}: {:.2}%",
+            r.label,
+            r.overhead_percent
+        );
     }
     assert!(reports.iter().any(|r| r.overhead_percent < 1.0));
 }

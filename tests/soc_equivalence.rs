@@ -43,7 +43,11 @@ fn check_all_policies(workload: &Workload, org: Organization, rs: &RsConfig) {
 fn sort_is_equivalent_under_single_link_pipelining() {
     let workload = extraction_sort(8, 42).unwrap();
     for link in [Link::CuIc, Link::RfDc, Link::AluCu] {
-        check_all_policies(&workload, Organization::Pipelined, &RsConfig::single(link, 1));
+        check_all_policies(
+            &workload,
+            Organization::Pipelined,
+            &RsConfig::single(link, 1),
+        );
     }
 }
 

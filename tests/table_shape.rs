@@ -99,7 +99,13 @@ fn cu_ic_is_the_most_expensive_link() {
 #[test]
 fn datapath_links_recover_most_of_the_throughput_under_wp2() {
     let rows = single_link_sweep(1);
-    for link in [Link::RfDc, Link::AluDc, Link::DcRf, Link::AluRf, Link::AluCu] {
+    for link in [
+        Link::RfDc,
+        Link::AluDc,
+        Link::DcRf,
+        Link::AluRf,
+        Link::AluCu,
+    ] {
         let row = rows.iter().find(|r| r.link == link).unwrap();
         assert!(
             row.th_wp2 > 0.85,
