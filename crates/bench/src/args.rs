@@ -1,0 +1,120 @@
+//! Sweep-scheduler flags shared by every experiment binary.
+//!
+//! All experiment binaries (and the `matmul_sweep` example) drive their
+//! wire-pipelined runs through `wp_sim::SweepRunner`; this module gives them
+//! one uniform way to control the scheduler from the command line:
+//!
+//! * `--workers N` — worker threads (`0`, the default, selects
+//!   `std::thread::available_parallelism`);
+//! * `--batch N` — scenario indices transferred per steal (`0`, the
+//!   default, selects the auto heuristic; `1` moves work one scenario at a
+//!   time).  Workers always lease one scenario per deque lock, so queued
+//!   work stays stealable regardless of the batch size.
+
+use wp_sim::SweepRunner;
+
+/// Scans `args` for `name` and returns the value token following it.
+///
+/// A flag's value must not itself be a flag (`--json --quick` is a
+/// forgotten value, not a report named `--quick`): a present flag with a
+/// missing or `--`-prefixed value exits with status 2, like the other
+/// argument errors of the experiment binaries.  Returns `None` when the
+/// flag is absent.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| {
+        match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("error: {name} expects a value");
+                std::process::exit(2);
+            }
+        }
+    })
+}
+
+/// Parsed `--workers` / `--batch` scheduler flags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepArgs {
+    /// Worker thread count (`0` = available parallelism).
+    pub workers: usize,
+    /// Steal-transfer batch size (`0` = auto heuristic).
+    pub batch: usize,
+}
+
+impl SweepArgs {
+    /// Parses the scheduler flags out of the process arguments, ignoring
+    /// any flags it does not know.
+    ///
+    /// Exits with status 2 on a malformed or missing value (a flag followed
+    /// by another `--flag` counts as missing), like the other argument
+    /// errors of the experiment binaries.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(&args)
+    }
+
+    /// [`SweepArgs::from_env`] over an explicit argument list.
+    pub fn from_args(args: &[String]) -> Self {
+        let parse = |name: &str| -> usize {
+            flag_value(args, name).map_or(0, |v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: {name} expects a non-negative integer, got '{v}'");
+                    std::process::exit(2);
+                })
+            })
+        };
+        Self {
+            workers: parse("--workers"),
+            batch: parse("--batch"),
+        }
+    }
+
+    /// Builds the configured [`SweepRunner`].
+    pub fn runner(&self) -> SweepRunner {
+        SweepRunner::new(self.workers).with_batch(self.batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_auto_everything() {
+        let args = SweepArgs::from_args(&strings(&["--quick"]));
+        assert_eq!(args.workers, 0);
+        assert_eq!(args.batch, 0);
+        assert!(args.runner().workers() >= 1);
+        assert_eq!(args.runner().batch(), 0);
+    }
+
+    #[test]
+    fn parses_both_flags_anywhere() {
+        let args = SweepArgs::from_args(&strings(&[
+            "--batch",
+            "3",
+            "--program",
+            "sort",
+            "--workers",
+            "2",
+        ]));
+        assert_eq!(args.workers, 2);
+        assert_eq!(args.batch, 3);
+        let runner = args.runner();
+        assert_eq!(runner.workers(), 2);
+        assert_eq!(runner.batch(), 3);
+    }
+
+    #[test]
+    fn absent_flags_return_none() {
+        assert_eq!(flag_value(&strings(&["--quick"]), "--json"), None);
+        assert_eq!(
+            flag_value(&strings(&["--json", "out.json"]), "--json").as_deref(),
+            Some("out.json")
+        );
+    }
+}

@@ -5,17 +5,18 @@
 //! the queues can be before throughput suffers on the case-study processor.
 //!
 //! The 2 × depths wire-pipelined runs are swept across worker threads by
-//! `wp_sim::SweepRunner`.
+//! `wp_sim::SweepRunner`'s work-stealing scheduler; control it with
+//! `--workers N` and `--batch N`.
 
-use wp_bench::{soc_scenario_with_config, sort_workload, MAX_CYCLES};
+use wp_bench::{soc_scenario_with_config, sort_workload, SweepArgs, MAX_CYCLES};
 use wp_core::ShellConfig;
+use wp_proc::SocState;
 use wp_proc::{run_golden_soc, Link, Organization, RsConfig};
-use wp_sim::SweepRunner;
+use wp_sim::SweepOutcome;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = sort_workload();
-    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)
-        .expect("golden run completes");
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)?;
     let rs = RsConfig::uniform(1, &[Link::CuIc]);
 
     let depths = [2usize, 3, 4, 6, 8, 16];
@@ -37,7 +38,11 @@ fn main() {
             })
         })
         .collect();
-    let outcomes = SweepRunner::default().run(scenarios);
+    let outcomes: Vec<SweepOutcome<SocState>> = SweepArgs::from_env()
+        .runner()
+        .run(scenarios)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
     println!("FIFO-depth ablation: sort, pipelined, All 1 (no CU-IC)\n");
     println!(
@@ -45,8 +50,8 @@ fn main() {
         "depth", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2"
     );
     for (i, &depth) in depths.iter().enumerate() {
-        let wp1 = outcomes[2 * i].as_ref().expect("WP1 run completes");
-        let wp2 = outcomes[2 * i + 1].as_ref().expect("WP2 run completes");
+        let wp1 = &outcomes[2 * i];
+        let wp2 = &outcomes[2 * i + 1];
         println!(
             "{depth:>8} {:>10} {:>10} {:>8.3} {:>8.3}",
             wp1.cycles_to_goal,
@@ -55,4 +60,5 @@ fn main() {
             golden.cycles as f64 / wp2.cycles_to_goal as f64
         );
     }
+    Ok(())
 }

@@ -6,15 +6,16 @@
 //! throughput moves from the WP2 value back to the WP1 bound.
 //!
 //! All degradation levels run as one `wp_sim::SweepRunner` sweep over
-//! `wp_bench::degraded_ring_scenario`.
+//! `wp_bench::degraded_ring_scenario`; control the scheduler with
+//! `--workers N` and `--batch N`.
 
-use wp_bench::degraded_ring_scenario;
+use wp_bench::{degraded_ring_scenario, SweepArgs};
 use wp_core::SyncPolicy;
-use wp_sim::SweepRunner;
+use wp_sim::{SweepError, SweepOutcome};
 
 const FIRINGS: u64 = 2_000;
 
-fn main() {
+fn main() -> Result<(), SweepError> {
     const PERIODS: [u64; 6] = [1, 2, 4, 8, 16, 64];
     let mut scenarios = vec![degraded_ring_scenario(
         "wp1",
@@ -37,14 +38,12 @@ fn main() {
         FIRINGS,
     ));
 
-    let outcomes = SweepRunner::default().run(scenarios);
-    let th = |i: usize| {
-        outcomes[i]
-            .as_ref()
-            .expect("ring simulation completes")
-            .report
-            .throughput_of(0)
-    };
+    let outcomes: Vec<SweepOutcome> = SweepArgs::from_env()
+        .runner()
+        .run(scenarios)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    let th = |i: usize| outcomes[i].report.throughput_of(0);
 
     println!("Oracle-quality ablation: 2-process loop, 1 RS, loop needed every 4th firing\n");
     println!("WP1 (no oracle)                    Th = {:.3}", th(0));
@@ -58,4 +57,5 @@ fn main() {
         "WP2 (exact oracle)                 Th = {:.3}",
         th(PERIODS.len() + 1)
     );
+    Ok(())
 }

@@ -4,15 +4,15 @@
 //!
 //! Besides the analytic law, the per-link table now also *measures* the WP1
 //! throughput of every single-link configuration — a 10-scenario
-//! `wp_sim::SweepRunner` sweep of the full processor.
+//! `wp_sim::SweepRunner` sweep of the full processor.  The scheduler is
+//! controlled with `--workers N` and `--batch N`.
 
-use wp_bench::{predict_wp1_throughput, soc_scenario, sort_workload, MAX_CYCLES};
+use wp_bench::{predict_wp1_throughput, soc_scenario, sort_workload, SweepArgs, MAX_CYCLES};
 use wp_core::SyncPolicy;
 use wp_netlist::{analyze_loops, loop_inventory, to_dot, DEFAULT_MAX_LOOPS};
 use wp_proc::{build_soc, run_golden_soc, Link, Organization, RsConfig};
-use wp_sim::SweepRunner;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = sort_workload();
     let builder = build_soc(&workload, Organization::Pipelined, &RsConfig::ideal());
     let net = builder.to_netlist();
@@ -36,8 +36,7 @@ fn main() {
 
     // Per-link worst loop: the analytic prediction next to a measured WP1
     // run of the same configuration, one sweep scenario per link.
-    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)
-        .expect("golden run completes");
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)?;
     let scenarios = Link::ALL
         .iter()
         .map(|&link| {
@@ -50,15 +49,15 @@ fn main() {
             )
         })
         .collect();
-    let outcomes = SweepRunner::default().run(scenarios);
+    let outcomes = SweepArgs::from_env().runner().run(scenarios);
 
     println!("\nPer-link worst loop (1 RS on that link only):");
     println!(
         "  {:<8} {:>14} {:>13}",
         "link", "predicted WP1", "measured WP1"
     );
-    for (link, outcome) in Link::ALL.iter().zip(&outcomes) {
-        let outcome = outcome.as_ref().expect("WP1 run completes");
+    for (link, outcome) in Link::ALL.iter().zip(outcomes) {
+        let outcome = outcome?;
         let predicted = predict_wp1_throughput(
             &workload,
             Organization::Pipelined,
@@ -67,4 +66,5 @@ fn main() {
         let measured = golden.cycles as f64 / outcome.cycles_to_goal as f64;
         println!("  {:<8} {predicted:>14.3} {measured:>13.3}", link.label());
     }
+    Ok(())
 }

@@ -4,12 +4,13 @@
 //! excited only once every few computations.
 //!
 //! All ring simulations (the m × n grid plus the oracle-relaxation column)
-//! are swept across worker threads by `wp_sim::SweepRunner`.
+//! are swept across worker threads by `wp_sim::SweepRunner`'s work-stealing
+//! scheduler; control it with `--workers N` and `--batch N`.
 
-use wp_bench::ring_scenario;
+use wp_bench::{ring_scenario, SweepArgs};
 use wp_core::SyncPolicy;
 use wp_netlist::loop_throughput;
-use wp_sim::{SweepOutcome, SweepRunner};
+use wp_sim::{SweepError, SweepOutcome};
 
 const FIRINGS: u64 = 2_000;
 
@@ -17,8 +18,8 @@ fn throughput(outcome: &SweepOutcome) -> f64 {
     outcome.report.throughput_of(0)
 }
 
-fn main() {
-    let runner = SweepRunner::default();
+fn main() -> Result<(), SweepError> {
+    let runner = SweepArgs::from_env().runner();
 
     // The m × n grid: one scenario per (m, n) pair.
     let grid: Vec<(usize, usize)> = (1..=6usize)
@@ -37,7 +38,10 @@ fn main() {
             )
         })
         .collect();
-    let outcomes = runner.run(scenarios);
+    let outcomes: Vec<SweepOutcome> = runner
+        .run(scenarios)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
     println!("Loop law: measured WP1 throughput vs m/(m+n)\n");
     println!(
@@ -45,7 +49,6 @@ fn main() {
         "m", "n", "law", "measured", "error"
     );
     for (&(m, n), outcome) in grid.iter().zip(&outcomes) {
-        let outcome = outcome.as_ref().expect("ring simulation completes");
         let law = loop_throughput(m, n);
         let measured = throughput(outcome);
         println!(
@@ -72,13 +75,17 @@ fn main() {
             })
         })
         .collect();
-    let outcomes = runner.run(scenarios);
+    let outcomes: Vec<SweepOutcome> = runner
+        .run(scenarios)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
     println!("\nOracle relaxation: 2-process loop, 1 RS, loop excited every k-th firing\n");
     println!("{:>4} {:>10} {:>10}", "k", "WP1", "WP2");
     for (i, &k) in ks.iter().enumerate() {
-        let wp1 = outcomes[2 * i].as_ref().expect("WP1 ring completes");
-        let wp2 = outcomes[2 * i + 1].as_ref().expect("WP2 ring completes");
+        let wp1 = &outcomes[2 * i];
+        let wp2 = &outcomes[2 * i + 1];
         println!("{k:>4} {:>10.3} {:>10.3}", throughput(wp1), throughput(wp2));
     }
+    Ok(())
 }

@@ -3,49 +3,48 @@
 //! comparing WP1 (strict shells) with WP2 (oracle shells).
 //!
 //! The 2 × configurations wire-pipelined runs of each table are swept across
-//! worker threads by `wp_sim::SweepRunner`.
+//! worker threads by `wp_sim::SweepRunner`'s work-stealing scheduler.
 //!
-//! Usage: `table1 [--program sort|matmul|both] [--quick] [--workers N]`
+//! Usage: `table1 [--program sort|matmul|both] [--quick] [--workers N]
+//! [--batch N] [--json PATH]`
 //!
 //! `--quick` shrinks the workloads and the configuration sweep to a few
-//! seconds of wall-clock; CI uses it as the smoke run.
+//! seconds of wall-clock and writes the machine-readable report
+//! `BENCH_table1.json` (rows + wall time); CI uses it as the smoke run and
+//! uploads the JSON as an artifact.  `--json PATH` writes the report to an
+//! explicit path (with or without `--quick`).
+
+use std::time::Instant;
 
 use wp_bench::{
-    format_table, matmul_workload, run_table_on, sort_workload, table1_base_configs,
-    table1_two_rs_configs,
+    bench_report_json, flag_value, format_table, matmul_workload, run_table_on, sort_workload,
+    table1_base_configs, table1_two_rs_configs, BenchTable, SweepArgs,
 };
-use wp_proc::{extraction_sort, matrix_multiply, Organization, RsConfig, Workload};
+use wp_proc::{extraction_sort, matrix_multiply, Organization, RsConfig, SocError, Workload};
 use wp_sim::SweepRunner;
 
 struct Args {
     program: String,
     quick: bool,
-    workers: usize,
+    sweep: SweepArgs,
+    json: Option<String>,
 }
 
 fn parse_args() -> Args {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag_value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
-    };
+    let quick = args.iter().any(|a| a == "--quick");
     Args {
-        program: flag_value("--program")
+        program: flag_value(&args, "--program")
             .or_else(|| args.first().cloned().filter(|a| !a.starts_with("--")))
             .unwrap_or_else(|| "both".to_string()),
-        quick: args.iter().any(|a| a == "--quick"),
-        workers: flag_value("--workers").map_or(0, |w| {
-            w.parse().unwrap_or_else(|_| {
-                eprintln!("error: --workers expects a non-negative integer, got '{w}'");
-                std::process::exit(2);
-            })
-        }),
+        quick,
+        sweep: SweepArgs::from_args(&args),
+        json: flag_value(&args, "--json")
+            .or_else(|| quick.then(|| "BENCH_table1.json".to_string())),
     }
 }
 
-fn sort_table(args: &Args, runner: &SweepRunner) {
+fn sort_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocError> {
     let (workload, label): (Workload, String) = if args.quick {
         (
             extraction_sort(6, wp_bench::WORKLOAD_SEED).expect("sort workload assembles"),
@@ -68,12 +67,12 @@ fn sort_table(args: &Args, runner: &SweepRunner) {
             1,
         ));
     }
-    let rows = run_table_on(runner, &workload, Organization::Pipelined, &configs)
-        .expect("sort table runs");
+    let rows = run_table_on(runner, &workload, Organization::Pipelined, &configs)?;
     println!("{}", format_table(&label, &rows));
+    Ok(BenchTable { title: label, rows })
 }
 
-fn matmul_table(args: &Args, runner: &SweepRunner) {
+fn matmul_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocError> {
     let (workload, label): (Workload, String) = if args.quick {
         (
             matrix_multiply(3, wp_bench::WORKLOAD_SEED).expect("matmul workload assembles"),
@@ -102,22 +101,42 @@ fn matmul_table(args: &Args, runner: &SweepRunner) {
             2,
         ));
     }
-    let rows = run_table_on(runner, &workload, Organization::Pipelined, &configs)
-        .expect("matmul table runs");
+    let rows = run_table_on(runner, &workload, Organization::Pipelined, &configs)?;
     println!("{}", format_table(&label, &rows));
+    Ok(BenchTable { title: label, rows })
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
-    let runner = SweepRunner::new(args.workers);
+    let runner = args.sweep.runner();
     eprintln!(
-        "sweeping wire-pipelined runs across {} worker thread(s)",
-        runner.workers()
+        "sweeping wire-pipelined runs across {} worker thread(s), batch {}",
+        runner.workers(),
+        if runner.batch() == 0 {
+            "auto".to_string()
+        } else {
+            runner.batch().to_string()
+        }
     );
+    let start = Instant::now();
+    let mut tables = Vec::new();
     if args.program == "sort" || args.program == "both" {
-        sort_table(&args, &runner);
+        tables.push(sort_table(&args, &runner)?);
     }
     if args.program == "matmul" || args.program == "both" {
-        matmul_table(&args, &runner);
+        tables.push(matmul_table(&args, &runner)?);
     }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    if let Some(path) = &args.json {
+        let report = bench_report_json(
+            "table1",
+            runner.workers(),
+            runner.batch(),
+            wall_seconds,
+            &tables,
+        );
+        std::fs::write(path, report)?;
+        eprintln!("wrote machine-readable report to {path}");
+    }
+    Ok(())
 }

@@ -1,0 +1,157 @@
+//! Machine-readable bench reports.
+//!
+//! CI tracks the experiment binaries over time; parsing their pretty-printed
+//! tables is brittle, so `table1` (and anything else that produces
+//! [`TableRow`]s) can emit a small JSON document instead — rows plus the
+//! wall-clock time of the producing sweep — which the workflow uploads as an
+//! artifact (`BENCH_table1.json`).
+//!
+//! The writer is hand-rolled because the workspace builds without registry
+//! access (no serde); the emitted subset is plain JSON: objects, arrays,
+//! strings with escaping, integers and finite floats.
+
+use std::fmt::Write as _;
+
+use crate::TableRow;
+
+/// One titled group of table rows in the report.
+#[derive(Debug, Clone)]
+pub struct BenchTable {
+    /// Human-readable table title (e.g. the Table 1 caption).
+    pub title: String,
+    /// The measured rows.
+    pub rows: Vec<TableRow>,
+}
+
+/// Serialises a bench report: the producing binary's name, scheduler
+/// configuration, total wall-clock seconds and every measured table.
+pub fn bench_report_json(
+    bench: &str,
+    workers: usize,
+    batch: usize,
+    wall_seconds: f64,
+    tables: &[BenchTable],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": {},", json_string(bench));
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"batch\": {batch},");
+    let _ = writeln!(out, "  \"wall_seconds\": {},", json_f64(wall_seconds));
+    out.push_str("  \"tables\": [");
+    for (t, table) in tables.iter().enumerate() {
+        if t > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        let _ = writeln!(out, "      \"title\": {},", json_string(&table.title));
+        out.push_str("      \"rows\": [");
+        for (r, row) in table.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        ");
+            push_row(&mut out, row);
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn push_row(out: &mut String, row: &TableRow) {
+    let _ = write!(
+        out,
+        "{{\"label\": {}, \"golden_cycles\": {}, \"wp1_cycles\": {}, \
+         \"wp2_cycles\": {}, \"th_wp1\": {}, \"th_wp2\": {}, \
+         \"th_wp1_predicted\": {}, \"improvement_percent\": {}}}",
+        json_string(&row.label),
+        row.golden_cycles,
+        row.wp1_cycles,
+        row.wp2_cycles,
+        json_f64(row.th_wp1),
+        json_f64(row.th_wp2),
+        json_f64(row.th_wp1_predicted),
+        json_f64(row.improvement_percent),
+    );
+}
+
+/// Escapes a string per RFC 8259 (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (NaN/infinity are not representable in
+/// JSON and map to `null`; no measured quantity in this workspace is either).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a fraction ("1"), which is a
+        // valid JSON number, but keep the fraction for schema stability.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str) -> TableRow {
+        TableRow {
+            label: label.to_string(),
+            golden_cycles: 100,
+            wp1_cycles: 150,
+            wp2_cycles: 120,
+            th_wp1: 100.0 / 150.0,
+            th_wp2: 100.0 / 120.0,
+            th_wp1_predicted: 0.75,
+            improvement_percent: 25.0,
+        }
+    }
+
+    #[test]
+    fn report_contains_rows_and_wall_time() {
+        let tables = vec![BenchTable {
+            title: "Table 1 \"quick\"".to_string(),
+            rows: vec![row("All 0 (ideal)"), row("Only RF-DC")],
+        }];
+        let json = bench_report_json("table1", 4, 1, 1.25, &tables);
+        assert!(json.contains("\"bench\": \"table1\""));
+        assert!(json.contains("\"wall_seconds\": 1.25"));
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"title\": \"Table 1 \\\"quick\\\"\""));
+        assert!(json.contains("\"label\": \"Only RF-DC\""));
+        assert!(json.contains("\"golden_cycles\": 100"));
+        assert!(json.contains("\"improvement_percent\": 25.0"));
+    }
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(json_string("a\"b\\c\nd\u{1}"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

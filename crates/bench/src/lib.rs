@@ -7,6 +7,12 @@
 
 #![warn(missing_docs)]
 
+mod args;
+mod json;
+
+pub use args::{flag_value, SweepArgs};
+pub use json::{bench_report_json, BenchTable};
+
 use wp_core::{PortSet, Process, ShellConfig, SyncPolicy};
 use wp_proc::{
     build_soc, extraction_sort, matrix_multiply, run_golden_soc, soc_state, Link, Msg,

@@ -1,35 +1,92 @@
-//! The persistent wire arena backing the simulator's hot loop.
+//! The persistent port arenas backing the simulators' hot loops.
 //!
-//! The seed implementation of [`crate::LidSimulator::step`] rebuilt two
-//! nested `Vec<Vec<_>>` scratch structures (per-shell input tokens and
-//! per-shell output stops) on **every simulated cycle**, which made heap
-//! allocation the dominant cost of the simulator.  [`WireArena`] replaces
-//! them with two flat slabs allocated once at construction time and indexed
-//! through precomputed per-shell port offsets; `step()` then performs zero
+//! The seed implementations of both [`crate::LidSimulator::step`] and
+//! [`crate::GoldenSimulator::step`] rebuilt nested `Vec<Vec<_>>` scratch
+//! structures on **every simulated cycle**, which made heap allocation the
+//! dominant cost of the simulators.  The arenas in this module replace them
+//! with flat slabs allocated once at construction time and indexed through
+//! precomputed per-shell port offsets; the step functions then perform zero
 //! heap allocations in steady state.
+//!
+//! [`PortArena`] is the generic building block: one slot of caller-chosen
+//! type per (process, port) pair, sliced per process.  [`WireArena`] composes
+//! two of them (sampled input tokens + sampled output stops) for the
+//! wire-pipelined kernel; the golden simulator uses a bare
+//! `PortArena<Option<V>>` for its delivered input values.
 //!
 //! Because a validated system description connects every input port to
 //! exactly one channel and every output port to exactly one channel (see
 //! `SystemBuilder::validate`), each slab slot is overwritten by exactly one
-//! channel during every sampling phase — the arena never needs clearing
+//! channel during every sampling phase — the arenas never need clearing
 //! between cycles.
 
 use wp_core::Token;
 
-/// Flat per-cycle wire state: every shell's sampled input tokens and output
-/// stop bits live in two contiguous slabs, sliced per shell through
-/// precomputed port offsets.
+/// A flat per-cycle port slab: one slot of type `S` per (process, port)
+/// pair, stored contiguously and sliced per process through precomputed
+/// offsets.
+///
+/// Built once at simulator construction; every slot is overwritten exactly
+/// once per cycle by the sampling phase, so the slab never needs clearing.
+#[derive(Debug, Clone)]
+pub struct PortArena<S> {
+    /// One slot per (process, port) pair, in process-major order.
+    slots: Vec<S>,
+    /// `offsets[i]..offsets[i + 1]` is process `i`'s slice of `slots`.
+    offsets: Vec<usize>,
+}
+
+impl<S> PortArena<S> {
+    /// Builds the arena for processes with the given per-process port
+    /// counts, filling every slot with `fill()`.
+    pub fn new<I>(ports: I, mut fill: impl FnMut() -> S) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut offsets = vec![0];
+        for count in ports {
+            offsets.push(offsets.last().unwrap() + count);
+        }
+        let mut slots = Vec::new();
+        slots.resize_with(*offsets.last().unwrap(), &mut fill);
+        Self { slots, offsets }
+    }
+
+    /// Number of processes the arena was laid out for.
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of port slots across all processes.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stores the value sampled for port `port` of process `group` this
+    /// cycle.
+    #[inline]
+    pub fn set(&mut self, group: usize, port: usize, value: S) {
+        debug_assert!(port < self.offsets[group + 1] - self.offsets[group]);
+        let slot = self.offsets[group] + port;
+        self.slots[slot] = value;
+    }
+
+    /// The slots of process `group`, in port order.
+    #[inline]
+    pub fn of(&self, group: usize) -> &[S] {
+        &self.slots[self.offsets[group]..self.offsets[group + 1]]
+    }
+}
+
+/// Flat per-cycle wire state of the wire-pipelined kernel: every shell's
+/// sampled input tokens and output stop bits live in two contiguous slabs,
+/// sliced per shell through precomputed port offsets.
 #[derive(Debug, Clone)]
 pub struct WireArena<V> {
     /// Sampled input token of every (shell, input-port) pair.
-    inputs: Vec<Token<V>>,
+    inputs: PortArena<Token<V>>,
     /// Sampled stop bit of every (shell, output-port) pair.
-    out_stops: Vec<bool>,
-    /// `in_offsets[i]..in_offsets[i + 1]` is shell `i`'s slice of `inputs`.
-    in_offsets: Vec<usize>,
-    /// `out_offsets[i]..out_offsets[i + 1]` is shell `i`'s slice of
-    /// `out_stops`.
-    out_offsets: Vec<usize>,
+    out_stops: PortArena<bool>,
 }
 
 impl<V> WireArena<V> {
@@ -39,60 +96,47 @@ impl<V> WireArena<V> {
     where
         I: IntoIterator<Item = (usize, usize)>,
     {
-        let mut in_offsets = vec![0];
-        let mut out_offsets = vec![0];
-        for (inputs, outputs) in ports {
-            in_offsets.push(in_offsets.last().unwrap() + inputs);
-            out_offsets.push(out_offsets.last().unwrap() + outputs);
-        }
-        let mut inputs = Vec::new();
-        inputs.resize_with(*in_offsets.last().unwrap(), || Token::Void);
+        let (ins, outs): (Vec<usize>, Vec<usize>) = ports.into_iter().unzip();
         Self {
-            inputs,
-            out_stops: vec![false; *out_offsets.last().unwrap()],
-            in_offsets,
-            out_offsets,
+            inputs: PortArena::new(ins, || Token::Void),
+            out_stops: PortArena::new(outs, || false),
         }
     }
 
     /// Number of shells the arena was laid out for.
     pub fn num_shells(&self) -> usize {
-        self.in_offsets.len() - 1
+        self.inputs.num_groups()
     }
 
     /// Total number of input-port slots across all shells.
     pub fn num_input_slots(&self) -> usize {
-        self.inputs.len()
+        self.inputs.num_slots()
     }
 
     /// Stores the token delivered to input port `port` of shell `shell` this
     /// cycle.
     #[inline]
     pub fn set_input(&mut self, shell: usize, port: usize, token: Token<V>) {
-        debug_assert!(port < self.in_offsets[shell + 1] - self.in_offsets[shell]);
-        let slot = self.in_offsets[shell] + port;
-        self.inputs[slot] = token;
+        self.inputs.set(shell, port, token);
     }
 
     /// Stores the stop observed on output port `port` of shell `shell` this
     /// cycle.
     #[inline]
     pub fn set_out_stop(&mut self, shell: usize, port: usize, stop: bool) {
-        debug_assert!(port < self.out_offsets[shell + 1] - self.out_offsets[shell]);
-        let slot = self.out_offsets[shell] + port;
-        self.out_stops[slot] = stop;
+        self.out_stops.set(shell, port, stop);
     }
 
     /// The input tokens sampled for shell `shell` this cycle, in port order.
     #[inline]
     pub fn inputs_of(&self, shell: usize) -> &[Token<V>] {
-        &self.inputs[self.in_offsets[shell]..self.in_offsets[shell + 1]]
+        self.inputs.of(shell)
     }
 
     /// The output stops sampled for shell `shell` this cycle, in port order.
     #[inline]
     pub fn out_stops_of(&self, shell: usize) -> &[bool] {
-        &self.out_stops[self.out_offsets[shell]..self.out_offsets[shell + 1]]
+        self.out_stops.of(shell)
     }
 }
 
@@ -116,6 +160,18 @@ mod tests {
         assert_eq!(arena.out_stops_of(0), &[false]);
         assert_eq!(arena.out_stops_of(1), &[false, true]);
         assert_eq!(arena.out_stops_of(2), &[] as &[bool]);
+    }
+
+    #[test]
+    fn generic_arena_slices_follow_the_layout() {
+        let mut arena: PortArena<Option<u64>> = PortArena::new([1, 3, 0], || None);
+        assert_eq!(arena.num_groups(), 3);
+        assert_eq!(arena.num_slots(), 4);
+        arena.set(0, 0, Some(1));
+        arena.set(1, 2, Some(2));
+        assert_eq!(arena.of(0), &[Some(1)]);
+        assert_eq!(arena.of(1), &[None, None, Some(2)]);
+        assert_eq!(arena.of(2), &[] as &[Option<u64>]);
     }
 
     #[test]

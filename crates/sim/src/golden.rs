@@ -5,9 +5,27 @@
 //! presented at cycle *t*).  The golden run defines both the reference cycle
 //! count used to compute wire-pipelined throughput and the reference channel
 //! realisations used by the equivalence check.
+//!
+//! # The allocation-free step
+//!
+//! Golden runs are the shared denominator of every experiment (each table
+//! row divides by a golden cycle count), so [`GoldenSimulator::step`]
+//! follows the same discipline as the wire-pipelined kernel
+//! ([`crate::LidSimulator`]): the per-cycle delivered values live in a
+//! persistent [`PortArena`] built once at construction (flat slab +
+//! precomputed per-process port offsets) instead of the seed's per-cycle
+//! nested `Vec<Vec<Option<V>>>` scratch, and the sampling loop writes each
+//! channel's value straight into its consumer's slot.  With channel traces
+//! disabled the step performs **zero heap allocations in steady state**
+//! (assuming `V: Clone` does not itself allocate, as for all workloads in
+//! this workspace).
+//!
+//! The seed implementation survives as [`crate::NaiveGoldenSimulator`]; the
+//! `golden_equivalence` property tests assert cycle-identical behaviour.
 
 use wp_core::{ChannelTrace, Process, Token};
 
+use crate::arena::PortArena;
 use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
 
 /// The golden (zero relay station, always-firing) simulator.
@@ -15,6 +33,10 @@ pub struct GoldenSimulator<V> {
     processes: Vec<Box<dyn Process<V>>>,
     channels: Vec<ChannelSpec>,
     traces: Vec<ChannelTrace<V>>,
+    /// Persistent per-cycle delivered values (see the module docs):
+    /// allocated once in [`GoldenSimulator::new`], reused by every
+    /// [`GoldenSimulator::step`].
+    arena: PortArena<Option<V>>,
     trace_enabled: bool,
     cycles: u64,
 }
@@ -43,10 +65,12 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
             .iter()
             .map(|c| ChannelTrace::new(c.name.clone()))
             .collect();
+        let arena = PortArena::new(processes.iter().map(|p| p.num_inputs()), || None);
         Ok(Self {
             processes,
             channels,
             traces,
+            arena,
             trace_enabled: true,
             cycles: 0,
         })
@@ -84,29 +108,38 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
 
     /// Simulates one clock cycle: every channel transports the value its
     /// producer currently presents and every process fires.
+    ///
+    /// Performs no heap allocation in steady state when channel-trace
+    /// recording is disabled ([`GoldenSimulator::set_trace_enabled`]): the
+    /// delivered values live in the persistent [`PortArena`] and every
+    /// process fires on a borrowed slice of it (see the module docs).  With
+    /// traces enabled — the default — each transported value is additionally
+    /// cloned into its channel's trace vector.
     pub fn step(&mut self) {
-        // Phase 1: sample every channel from the producers' current outputs.
-        let values: Vec<V> = self
-            .channels
-            .iter()
-            .map(|c| self.processes[c.src].output(c.src_port))
-            .collect();
-        if self.trace_enabled {
-            for (trace, v) in self.traces.iter_mut().zip(values.iter()) {
-                trace.record(Token::Valid(v.clone()));
+        let Self {
+            processes,
+            channels,
+            traces,
+            arena,
+            trace_enabled,
+            ..
+        } = self;
+
+        // Phase 1: per channel, sample the producer's current output into
+        // the consumer's arena slot.  Validation guarantees every
+        // (process, input-port) slot is written by exactly one channel, so
+        // the arena needs no clearing; no process fires until phase 2, so
+        // every sample sees the pre-cycle outputs.
+        for (idx, c) in channels.iter().enumerate() {
+            let value = processes[c.src].output(c.src_port);
+            if *trace_enabled {
+                traces[idx].record(Token::Valid(value.clone()));
             }
+            arena.set(c.dst, c.dst_port, Some(value));
         }
-        // Phase 2: deliver and fire.
-        let mut inputs: Vec<Vec<Option<V>>> = self
-            .processes
-            .iter()
-            .map(|p| vec![None; p.num_inputs()])
-            .collect();
-        for (c, v) in self.channels.iter().zip(values) {
-            inputs[c.dst][c.dst_port] = Some(v);
-        }
-        for (p, ins) in self.processes.iter_mut().zip(inputs.iter()) {
-            p.fire(ins);
+        // Phase 2: fire every process on its borrowed arena slice.
+        for (i, p) in processes.iter_mut().enumerate() {
+            p.fire(arena.of(i));
         }
         self.cycles += 1;
     }

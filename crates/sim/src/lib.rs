@@ -18,10 +18,12 @@
 //! Two more pieces support experiments at scale:
 //!
 //! * [`SweepRunner`] runs many independent `(ShellConfig × relay-station
-//!   assignment × program)` scenarios across `std::thread` workers and
-//!   collects one [`LidReport`] per scenario;
-//! * [`NaiveSimulator`] preserves the seed (allocation-heavy) simulator step
-//!   as the reference the allocation-free [`LidSimulator`] kernel is
+//!   assignment × program)` scenarios across `std::thread` workers with a
+//!   work-stealing, batching scheduler and collects one [`LidReport`] per
+//!   scenario, always in submission order;
+//! * [`NaiveSimulator`] and [`NaiveGoldenSimulator`] preserve the seed
+//!   (allocation-heavy) simulator steps as the references the
+//!   allocation-free [`LidSimulator`] and [`GoldenSimulator`] kernels are
 //!   property-tested and benchmarked against.
 //!
 //! ```
@@ -64,9 +66,9 @@ mod sweep;
 #[cfg(test)]
 mod testutil;
 
-pub use arena::WireArena;
+pub use arena::{PortArena, WireArena};
 pub use golden::GoldenSimulator;
 pub use lid::{LidReport, LidSimulator, DEFAULT_DEADLOCK_WINDOW};
-pub use naive::NaiveSimulator;
+pub use naive::{NaiveGoldenSimulator, NaiveSimulator};
 pub use spec::{ChannelId, ChannelSpec, ProcessId, SimError, SystemBuilder};
-pub use sweep::{RunGoal, Scenario, SweepError, SweepOutcome, SweepRunner};
+pub use sweep::{RunGoal, Scenario, SweepError, SweepOutcome, SweepRunner, SweepStats};

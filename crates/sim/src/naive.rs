@@ -1,4 +1,4 @@
-//! The seed (pre-arena) simulator step, preserved as a reference.
+//! The seed (pre-arena) simulator steps, preserved as references.
 //!
 //! [`NaiveSimulator`] is behaviourally identical to [`LidSimulator`] — the
 //! kernel-equivalence property tests assert cycle-identical reports and
@@ -13,10 +13,17 @@
 //! * the system-wide firing count is recomputed by scanning every shell
 //!   before and after each update phase.
 //!
-//! It exists for two reasons: as the *oracle* the allocation-free kernel is
-//! property-tested against, and as the *baseline* the criterion benches
-//! measure the kernel's speedup over.  It should never be used for real
+//! [`NaiveGoldenSimulator`] plays the same role for the golden path: it
+//! keeps the seed `GoldenSimulator::step` (a per-cycle `Vec<V>` of sampled
+//! values plus a nested `Vec<Vec<Option<V>>>` input scratch) as the oracle
+//! the arena-based [`GoldenSimulator`] is property-tested against.
+//!
+//! They exist for two reasons: as the *oracles* the allocation-free kernels
+//! are property-tested against, and as the *baselines* the criterion benches
+//! measure the kernels' speedups over.  They should never be used for real
 //! experiments.
+//!
+//! [`GoldenSimulator`]: crate::GoldenSimulator
 
 use wp_core::{ChannelTrace, Process, RelayChain, Shell, ShellConfig, Token};
 
@@ -294,6 +301,138 @@ impl<V: Clone + PartialEq> NaiveSimulator<V> {
             total_firings,
             discarded,
             throughput,
+        }
+    }
+}
+
+/// The seed implementation of the golden (un-pipelined) simulator step: same
+/// observable behaviour as [`GoldenSimulator`], per-cycle nested scratch
+/// allocations included (see the module docs for why it is kept).
+///
+/// [`GoldenSimulator`]: crate::GoldenSimulator
+pub struct NaiveGoldenSimulator<V> {
+    processes: Vec<Box<dyn Process<V>>>,
+    channels: Vec<ChannelSpec>,
+    traces: Vec<ChannelTrace<V>>,
+    trace_enabled: bool,
+    cycles: u64,
+}
+
+impl<V> std::fmt::Debug for NaiveGoldenSimulator<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NaiveGoldenSimulator")
+            .field("processes", &self.processes.len())
+            .field("channels", &self.channels.len())
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+impl<V: Clone + PartialEq> NaiveGoldenSimulator<V> {
+    /// Builds the simulator exactly like [`GoldenSimulator::new`].
+    ///
+    /// [`GoldenSimulator::new`]: crate::GoldenSimulator::new
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSystem`] when the description is not fully
+    /// and consistently connected.
+    pub fn new(builder: SystemBuilder<V>) -> Result<Self, SimError> {
+        builder.validate()?;
+        let (processes, channels) = builder.into_parts();
+        let traces = channels
+            .iter()
+            .map(|c| ChannelTrace::new(c.name.clone()))
+            .collect();
+        Ok(Self {
+            processes,
+            channels,
+            traces,
+            trace_enabled: true,
+            cycles: 0,
+        })
+    }
+
+    /// Enables or disables channel-trace recording (enabled by default).
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// Number of cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The recorded channel traces (one per channel, in channel order).
+    pub fn traces(&self) -> &[ChannelTrace<V>] {
+        &self.traces
+    }
+
+    /// Immutable access to a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn process(&self, id: ProcessId) -> &dyn Process<V> {
+        self.processes[id].as_ref()
+    }
+
+    /// Returns `true` when the given process reports a halted state.
+    pub fn is_halted(&self, id: ProcessId) -> bool {
+        self.processes[id].is_halted()
+    }
+
+    /// Simulates one clock cycle, allocating its scratch state on the heap
+    /// like the seed implementation did.
+    pub fn step(&mut self) {
+        // Phase 1: sample every channel from the producers' current outputs.
+        let values: Vec<V> = self
+            .channels
+            .iter()
+            .map(|c| self.processes[c.src].output(c.src_port))
+            .collect();
+        if self.trace_enabled {
+            for (trace, v) in self.traces.iter_mut().zip(values.iter()) {
+                trace.record(Token::Valid(v.clone()));
+            }
+        }
+        // Phase 2: deliver and fire.
+        let mut inputs: Vec<Vec<Option<V>>> = self
+            .processes
+            .iter()
+            .map(|p| vec![None; p.num_inputs()])
+            .collect();
+        for (c, v) in self.channels.iter().zip(values) {
+            inputs[c.dst][c.dst_port] = Some(v);
+        }
+        for (p, ins) in self.processes.iter_mut().zip(inputs.iter()) {
+            p.fire(ins);
+        }
+        self.cycles += 1;
+    }
+
+    /// Runs until the process `halt_on` reports a halted state (see
+    /// [`GoldenSimulator::run_until_halt`]).
+    ///
+    /// [`GoldenSimulator::run_until_halt`]: crate::GoldenSimulator::run_until_halt
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MaxCyclesExceeded`] when the limit is hit first.
+    pub fn run_until_halt(&mut self, halt_on: ProcessId, max_cycles: u64) -> Result<u64, SimError> {
+        while !self.processes[halt_on].is_halted() {
+            if self.cycles >= max_cycles {
+                return Err(SimError::MaxCyclesExceeded { max_cycles });
+            }
+            self.step();
+        }
+        Ok(self.cycles)
+    }
+
+    /// Runs for exactly `cycles` additional cycles.
+    pub fn run_for(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
         }
     }
 }

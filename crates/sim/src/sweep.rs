@@ -8,9 +8,34 @@
 //! [`LidReport`] (plus an optional caller-defined post-run extraction) per
 //! scenario.
 //!
-//! Results are written to per-scenario slots, so their order always matches
-//! the submission order and is independent of the worker count; the
-//! `sweep_is_deterministic_across_worker_counts` test pins this down.
+//! # The work-stealing, batching scheduler
+//!
+//! Scenario wall-clock costs are heavy-tailed (a full-SoC matmul run next
+//! to a ten-cycle ring), so a static per-worker partition leaves workers
+//! idle.  The runner instead gives every worker its own deque of scenario
+//! indices, seeded with a contiguous span of the submission order:
+//!
+//! * a worker **leases** one index at a time from the *front* of its own
+//!   deque (an uncontended lock, negligible next to even the cheapest
+//!   simulation) — everything not currently executing therefore stays in a
+//!   deque, visible to thieves, so a long-running scenario can never hide
+//!   queued work behind it;
+//! * a worker whose deque is empty **steals** a batch of up to
+//!   [`SweepRunner::with_batch`] indices (at most half of the victim's
+//!   remainder) from the *back* of a victim's deque into its own, scanning
+//!   the other workers round-robin — transferring many small scenarios per
+//!   steal amortises the only contended synchronisation in the scheduler;
+//! * every index is leased for execution exactly once, and a worker only
+//!   exits once its own deque is empty and there is nothing left to steal.
+//!
+//! The scheduler changes only *which worker* executes a scenario and *when*:
+//! results are written to per-scenario slots, so their order always matches
+//! the submission order and is independent of both the worker count and the
+//! batch size; the `results_are_independent_of_worker_count_and_match_sequential`
+//! and `results_are_independent_of_batch_size` tests pin this down, and
+//! `tests/sweep_heavy_tail.rs` proves the occupancy win on a heavy-tailed
+//! sweep.  [`SweepRunner::run_with_stats`] additionally reports the lease
+//! and steal counters ([`SweepStats`]).
 //!
 //! ```
 //! use wp_core::{RecordingSink, ShellConfig};
@@ -40,8 +65,9 @@
 //! assert!(outcomes.iter().all(|o| o.is_ok()));
 //! ```
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use wp_core::ShellConfig;
@@ -208,11 +234,28 @@ impl std::error::Error for SweepError {
     }
 }
 
-/// Runs independent scenarios across a fixed-size pool of `std::thread`
-/// workers (see the module docs).
+/// Scheduler counters of one completed sweep (see
+/// [`SweepRunner::run_with_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Worker threads actually spawned (bounded by the scenario count).
+    pub workers: usize,
+    /// Effective steal-transfer size (the configured batch, or the auto
+    /// heuristic).
+    pub batch: usize,
+    /// Scenario executions leased from worker deques (always equals the
+    /// scenario count on a completed sweep).
+    pub leases: u64,
+    /// Batch transfers from a victim's deque to an idle worker's deque.
+    pub steals: u64,
+}
+
+/// Runs independent scenarios across a pool of `std::thread` workers with a
+/// work-stealing, batching scheduler (see the module docs).
 #[derive(Debug, Clone)]
 pub struct SweepRunner {
     workers: usize,
+    batch: usize,
 }
 
 impl Default for SweepRunner {
@@ -223,14 +266,30 @@ impl Default for SweepRunner {
 
 impl SweepRunner {
     /// Creates a runner with the given worker count; `0` selects
-    /// [`std::thread::available_parallelism`].
+    /// [`std::thread::available_parallelism`].  The steal batch size starts
+    /// on the auto heuristic (see [`SweepRunner::with_batch`]).
     pub fn new(workers: usize) -> Self {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             workers
         };
-        Self { workers }
+        Self { workers, batch: 0 }
+    }
+
+    /// Sets how many scenarios an idle worker transfers per steal (it never
+    /// takes more than half of the victim's remaining deque).
+    ///
+    /// Stolen indices land in the thief's own deque — still visible to
+    /// other thieves — so a larger batch only amortises the contended
+    /// victim-lock acquisitions of cheap-scenario sweeps; it cannot trap
+    /// queued work behind a long-running scenario.  `0` (the default)
+    /// selects the auto heuristic `max(1, scenarios / (4 × workers))`;
+    /// pass `1` to move work one scenario at a time.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// The number of worker threads this runner uses.
@@ -238,8 +297,22 @@ impl SweepRunner {
         self.workers
     }
 
+    /// The configured steal batch size (`0` means the auto heuristic).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The steal-transfer size used for a sweep of `n` scenarios.
+    fn effective_batch(&self, n: usize, workers: usize) -> usize {
+        if self.batch > 0 {
+            self.batch
+        } else {
+            (n / (4 * workers)).max(1)
+        }
+    }
+
     /// Runs every scenario and returns their outcomes in submission order
-    /// (the order is independent of the worker count).
+    /// (the order is independent of the worker count and the batch size).
     pub fn run<V, T>(
         &self,
         scenarios: Vec<Scenario<V, T>>,
@@ -248,32 +321,116 @@ impl SweepRunner {
         V: Clone + PartialEq,
         T: Send,
     {
+        self.run_with_stats(scenarios).0
+    }
+
+    /// [`SweepRunner::run`], additionally returning the scheduler counters
+    /// of the sweep.
+    pub fn run_with_stats<V, T>(
+        &self,
+        scenarios: Vec<Scenario<V, T>>,
+    ) -> (Vec<Result<SweepOutcome<T>, SweepError>>, SweepStats)
+    where
+        V: Clone + PartialEq,
+        T: Send,
+    {
         type Slot<T> = Mutex<Option<Result<SweepOutcome<T>, SweepError>>>;
-        let next = AtomicUsize::new(0);
+        let n = scenarios.len();
+        if n == 0 {
+            return (Vec::new(), SweepStats::default());
+        }
+        let workers = self.workers.min(n).max(1);
+        let batch = self.effective_batch(n, workers);
         let slots: Vec<Slot<T>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
-        let workers = self.workers.min(scenarios.len()).max(1);
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(scenario) = scenarios.get(index) else {
-                        break;
-                    };
-                    let outcome = execute(scenario);
-                    *slots[index].lock().expect("sweep slot poisoned") = Some(outcome);
-                });
-            }
-        });
+        // One deque of scenario indices per worker, seeded with a contiguous
+        // span of the submission order.  Indices only ever leave the deques,
+        // so "every deque is empty" means the sweep is fully leased.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
+            .collect();
+        let leases = AtomicU64::new(0);
+        let steals = AtomicU64::new(0);
 
-        slots
+        {
+            let (scenarios, slots, queues) = (&scenarios, &slots, &queues);
+            let (leases, steals) = (&leases, &steals);
+            std::thread::scope(|scope| {
+                for me in 0..workers {
+                    scope.spawn(move || {
+                        let mut chunk: Vec<usize> = Vec::with_capacity(batch);
+                        loop {
+                            // Lease exactly one index from our own deque:
+                            // everything not currently executing stays in a
+                            // deque, visible to thieves, so a long-running
+                            // scenario can never hide queued work.
+                            let index =
+                                queues[me].lock().expect("sweep queue poisoned").pop_front();
+                            if let Some(index) = index {
+                                leases.fetch_add(1, Ordering::Relaxed);
+                                *slots[index].lock().expect("sweep slot poisoned") =
+                                    Some(execute(&scenarios[index]));
+                                continue;
+                            }
+                            // Own deque empty: transfer up to half of a
+                            // victim's remaining indices (capped at `batch`)
+                            // from the back of its deque into our own.  The
+                            // victim lock is released before our own is
+                            // taken, so no worker ever holds two deque locks
+                            // (no lock-order deadlock between mutual
+                            // thieves).
+                            let mut stole = false;
+                            for offset in 1..workers {
+                                let victim = (me + offset) % workers;
+                                {
+                                    let mut q =
+                                        queues[victim].lock().expect("sweep queue poisoned");
+                                    let take = q.len().div_ceil(2).min(batch);
+                                    for _ in 0..take {
+                                        let i = q.pop_back().expect("len checked above");
+                                        chunk.push(i);
+                                    }
+                                }
+                                if !chunk.is_empty() {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    let mut q = queues[me].lock().expect("sweep queue poisoned");
+                                    for &i in &chunk {
+                                        q.push_front(i);
+                                    }
+                                    chunk.clear();
+                                    stole = true;
+                                    break;
+                                }
+                            }
+                            if !stole {
+                                // Nothing to steal anywhere and our own
+                                // deque is empty (only its owner pushes to
+                                // it): every index is leased or queued at a
+                                // worker that will execute it before
+                                // exiting.
+                                break;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        let outcomes = slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("sweep slot poisoned")
-                    .expect("every scenario index was claimed by a worker")
+                    .expect("every scenario index was leased by a worker")
             })
-            .collect()
+            .collect();
+        let stats = SweepStats {
+            workers,
+            batch,
+            leases: leases.into_inner(),
+            steals: steals.into_inner(),
+        };
+        (outcomes, stats)
     }
 }
 
@@ -374,6 +531,50 @@ mod tests {
                 .collect();
             assert_eq!(outcomes, reference, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn results_are_independent_of_batch_size() {
+        let reference = sequential_outcomes();
+        for batch in [1, 2, 5, 100] {
+            let outcomes = SweepRunner::new(3).with_batch(batch).run(ring_scenarios());
+            let outcomes: Vec<SweepOutcome> = outcomes
+                .into_iter()
+                .map(|o| o.expect("ring scenario completes"))
+                .collect();
+            assert_eq!(outcomes, reference, "batch = {batch}");
+        }
+    }
+
+    #[test]
+    fn stats_report_the_effective_batch_and_cover_every_scenario() {
+        let n = ring_scenarios().len() as u64;
+        // Auto heuristic: 9 scenarios / (4 × 2 workers) -> batch 1.
+        let (_, stats) = SweepRunner::new(2).run_with_stats(ring_scenarios());
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.batch, 1);
+        assert_eq!(stats.leases, n, "every scenario is leased exactly once");
+
+        let (_, stats) = SweepRunner::new(1)
+            .with_batch(4)
+            .run_with_stats(ring_scenarios());
+        assert_eq!(stats.batch, 4);
+        assert_eq!(stats.leases, n, "every scenario is leased exactly once");
+        assert_eq!(stats.steals, 0, "a single worker has nobody to steal from");
+    }
+
+    #[test]
+    fn empty_sweep_returns_no_outcomes() {
+        let (outcomes, stats) = SweepRunner::new(4).run_with_stats(Vec::<Scenario<u64>>::new());
+        assert!(outcomes.is_empty());
+        assert_eq!(stats, SweepStats::default());
+    }
+
+    #[test]
+    fn more_workers_than_scenarios_is_fine() {
+        let outcomes = SweepRunner::new(64).with_batch(7).run(ring_scenarios());
+        assert_eq!(outcomes.len(), ring_scenarios().len());
+        assert!(outcomes.iter().all(Result::is_ok));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Shared heavy-tail sweep fixtures for the scheduler integration tests
+//! (`sweep_heavy_tail.rs`, `sweep_wall_clock.rs`).
+
+use std::time::{Duration, Instant};
+
+use wp_core::{Process, ShellConfig};
+use wp_sim::{RunGoal, Scenario, SweepOutcome, SweepRunner, SystemBuilder};
+
+/// A minimal always-firing ring stage.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    name: String,
+    value: u64,
+}
+
+impl Process<u64> for Stage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.value
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        if let Some(v) = inputs[0] {
+            self.value = v.wrapping_add(1);
+        }
+    }
+    fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// A two-stage ring simulated for a fixed number of cycles.
+pub fn ring_scenario(label: String, cycles: u64) -> Scenario<u64> {
+    Scenario::new(
+        label,
+        ShellConfig::strict(),
+        RunGoal::ForCycles(cycles),
+        || {
+            let mut b = SystemBuilder::new();
+            let s0 = b.add_process(Box::new(Stage {
+                name: "s0".into(),
+                value: 0,
+            }));
+            let s1 = b.add_process(Box::new(Stage {
+                name: "s1".into(),
+                value: 0,
+            }));
+            b.connect("e0", s0, 0, s1, 0, 0);
+            b.connect("e1", s1, 0, s0, 0, 0);
+            b
+        },
+    )
+}
+
+pub const SHORT_CYCLES: u64 = 10_000;
+pub const LONG_CYCLES: u64 = SHORT_CYCLES * 100;
+pub const SHORT_SCENARIOS: usize = 32;
+
+/// The heavy-tailed sweep: one 100×-long scenario submitted first, 32 short
+/// ones queued behind it.
+pub fn heavy_tail_scenarios() -> Vec<Scenario<u64>> {
+    let mut scenarios = vec![ring_scenario("long".into(), LONG_CYCLES)];
+    for i in 0..SHORT_SCENARIOS {
+        scenarios.push(ring_scenario(format!("short{i}"), SHORT_CYCLES));
+    }
+    scenarios
+}
+
+/// Runs the heavy-tailed sweep with single-scenario steal transfers and
+/// returns the outcomes plus the elapsed wall-clock time.
+pub fn run_timed(workers: usize) -> (Vec<SweepOutcome>, Duration) {
+    let start = Instant::now();
+    let outcomes = SweepRunner::new(workers)
+        .with_batch(1)
+        .run(heavy_tail_scenarios());
+    let elapsed = start.elapsed();
+    let outcomes = outcomes
+        .into_iter()
+        .map(|o| o.expect("heavy-tail scenario completes"))
+        .collect();
+    (outcomes, elapsed)
+}

@@ -1,0 +1,111 @@
+//! Proves the allocation-free steady-state claim of both kernels with a
+//! counting global allocator: once constructed (and past the first cycle),
+//! `GoldenSimulator::step` and `LidSimulator::step` with traces disabled
+//! must not touch the heap at all.
+//!
+//! This file deliberately contains a single `#[test]` so no concurrent test
+//! thread can allocate while the steady-state windows are measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wp_core::{Process, ShellConfig};
+use wp_sim::{GoldenSimulator, LidSimulator, SystemBuilder};
+
+/// Counts every allocation (and reallocation) made through the global
+/// allocator.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A minimal always-firing ring stage.
+#[derive(Debug, Clone)]
+struct Stage {
+    value: u64,
+}
+
+impl Process<u64> for Stage {
+    fn name(&self) -> &str {
+        "stage"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.value
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        if let Some(v) = inputs[0] {
+            self.value = v.wrapping_add(1);
+        }
+    }
+    fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// A ring of `n` stages with `rs` relay stations on the first edge.
+fn ring(n: usize, rs: usize) -> SystemBuilder<u64> {
+    let mut b = SystemBuilder::new();
+    let ids: Vec<_> = (0..n)
+        .map(|_| b.add_process(Box::new(Stage { value: 0 })))
+        .collect();
+    for i in 0..n {
+        let stations = if i == 0 { rs } else { 0 };
+        b.connect(format!("e{i}"), ids[i], 0, ids[(i + 1) % n], 0, stations);
+    }
+    b
+}
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_steps_do_not_allocate_with_traces_disabled() {
+    // Golden: construction and the warm-up may allocate; the steady-state
+    // window must not.
+    let mut golden = GoldenSimulator::new(ring(4, 0)).expect("ring builds");
+    golden.set_trace_enabled(false);
+    golden.run_for(16);
+    let before = allocations();
+    golden.run_for(1_000);
+    assert_eq!(
+        allocations(),
+        before,
+        "GoldenSimulator::step allocated in steady state"
+    );
+    assert_eq!(golden.cycles(), 1_016);
+
+    // Wire-pipelined kernel: same discipline, including relay stations.
+    let mut lid = LidSimulator::new(ring(4, 2), ShellConfig::strict()).expect("ring builds");
+    lid.set_trace_enabled(false);
+    lid.run_for(16).expect("warm-up runs");
+    let before = allocations();
+    lid.run_for(1_000).expect("steady state runs");
+    assert_eq!(
+        allocations(),
+        before,
+        "LidSimulator::step allocated in steady state"
+    );
+}

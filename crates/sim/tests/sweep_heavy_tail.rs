@@ -1,0 +1,70 @@
+//! Heavy-tail sweep scheduling: one very long scenario among many short
+//! ones must neither change the results nor serialise the sweep.
+//!
+//! Two timing-free properties are pinned here (the wall-clock comparison
+//! lives alone in `sweep_wall_clock.rs` so concurrent sibling tests cannot
+//! skew its measurement):
+//!
+//! * results are identical across worker counts (1, 4, 8) — the scheduler
+//!   only moves work between threads, never changes it;
+//! * structurally: with the long scenario submitted first, the worker stuck
+//!   on it must NOT also execute the short scenarios seeded behind it in
+//!   its own deque — idle workers steal them (`SweepStats::steals`).
+
+mod common;
+
+use std::thread::ThreadId;
+
+use common::{heavy_tail_scenarios, run_timed, LONG_CYCLES, SHORT_CYCLES, SHORT_SCENARIOS};
+use wp_sim::{Scenario, SweepRunner};
+
+#[test]
+fn heavy_tail_results_are_identical_across_worker_counts() {
+    let (reference, _) = run_timed(1);
+    assert_eq!(reference.len(), SHORT_SCENARIOS + 1);
+    assert_eq!(reference[0].label, "long");
+    assert_eq!(reference[0].report.cycles, LONG_CYCLES);
+    assert_eq!(reference[1].report.cycles, SHORT_CYCLES);
+
+    for workers in [4usize, 8] {
+        let (outcomes, _) = run_timed(workers);
+        assert_eq!(outcomes, reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn idle_workers_steal_the_short_scenarios_queued_behind_the_long_one() {
+    // Tag every outcome with the executing thread.  The deques are seeded
+    // with contiguous spans of the submission order, so the long scenario
+    // (index 0) starts in the same deque as the first ~7 short ones; those
+    // must be stolen and executed elsewhere while their owner is busy.
+    let scenarios: Vec<Scenario<u64, ThreadId>> = heavy_tail_scenarios()
+        .into_iter()
+        .map(|s| s.with_post(|_| std::thread::current().id()))
+        .collect();
+    let (outcomes, stats) = SweepRunner::new(4).with_batch(1).run_with_stats(scenarios);
+    assert_eq!(stats.workers, 4);
+    assert_eq!(stats.batch, 1);
+    assert!(
+        stats.steals >= 1,
+        "no steals on a heavy-tailed sweep: {stats:?}"
+    );
+
+    let executed_by: Vec<ThreadId> = outcomes
+        .into_iter()
+        .map(|o| o.expect("completes").post.expect("post installed"))
+        .collect();
+    let long_worker = executed_by[0];
+    let long_worker_share = executed_by.iter().filter(|&&t| t == long_worker).count();
+    // The long scenario runs for 100 short-scenario-equivalents while the
+    // other three workers chew through 32 short ones; the long worker's
+    // queued shorts are stolen long before it finishes.  Allow generous
+    // slack for scheduling jitter: it must execute well under its static
+    // 9-scenario span.
+    assert!(
+        long_worker_share <= 4,
+        "the worker that executed the long scenario also executed \
+         {long_worker_share} of {} scenarios — its deque was not stolen from",
+        executed_by.len()
+    );
+}

@@ -1,0 +1,39 @@
+//! Wall-clock occupancy smoke for the heavy-tailed sweep.
+//!
+//! This file deliberately contains a single `#[test]` so no concurrent test
+//! thread in the same binary can load the CPU while the serial and parallel
+//! sweeps are timed (cargo runs separate test binaries sequentially); the
+//! timing-free heavy-tail properties live in `sweep_heavy_tail.rs`.
+
+mod common;
+
+use common::run_timed;
+
+#[test]
+fn four_workers_beat_one_worker_on_wall_clock() {
+    if std::thread::available_parallelism().map_or(1, usize::from) < 2 {
+        eprintln!("skipping wall-clock comparison: single-core machine");
+        return;
+    }
+    // Smoke-level occupancy check with a generous threshold: the serial run
+    // simulates the long scenario plus all 32 short ones back to back
+    // (~1.3× the long scenario alone), while 4 workers finish the short
+    // scenarios alongside the long one.  Any speedup at all passes; retry a
+    // few times so a transiently loaded machine cannot flake the test.
+    const ATTEMPTS: usize = 3;
+    let mut last = None;
+    for attempt in 1..=ATTEMPTS {
+        let (_, serial) = run_timed(1);
+        let (_, parallel) = run_timed(4);
+        if parallel < serial {
+            return;
+        }
+        eprintln!("attempt {attempt}: parallel {parallel:?} vs serial {serial:?}");
+        last = Some((parallel, serial));
+    }
+    let (parallel, serial) = last.expect("at least one attempt ran");
+    panic!(
+        "4 workers ({parallel:?}) never beat 1 worker ({serial:?}) across \
+         {ATTEMPTS} attempts on a heavy-tailed sweep"
+    );
+}

@@ -6,16 +6,16 @@
 //! All 24 wire-pipelined runs (4 links × 3 relay-station counts × 2 shell
 //! policies) execute as one `wp_sim::SweepRunner` sweep built from
 //! `wp_bench::soc_scenario`; every scenario validates its final data memory
-//! against the reference result.
+//! against the reference result.  The work-stealing scheduler is controlled
+//! with `--workers N` and `--batch N` (`wp_bench::SweepArgs`).
 //!
 //! Run with `cargo run --example matmul_sweep --release` (a couple of
 //! seconds in release mode).
 
-use wp_bench::soc_scenario;
+use wp_bench::{soc_scenario, SweepArgs};
 use wp_core::SyncPolicy;
 use wp_netlist::predicted_throughput;
 use wp_proc::{build_soc, matrix_multiply, run_golden_soc, Link, Organization, RsConfig};
-use wp_sim::SweepRunner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     const MAX_CYCLES: u64 = 20_000_000;
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let runner = SweepRunner::default();
+    let runner = SweepArgs::from_env().runner();
     eprintln!(
         "sweeping {} scenarios across {} worker thread(s)",
         scenarios.len(),

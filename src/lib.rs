@@ -4,16 +4,17 @@
 //! *"A New System Design Methodology for Wire Pipelined SoC"*
 //! (Casu & Macchiarulo, DATE 2005):
 //!
-//! * [`core`](wp_core) — latency-insensitive protocol: tokens, relay
+//! * [`core`] (`wp_core`) — latency-insensitive protocol: tokens, relay
 //!   stations, WP1/WP2 shells, oracles, equivalence checking;
-//! * [`netlist`](wp_netlist) — netlist graph, loop enumeration and the
+//! * [`netlist`] (`wp_netlist`) — netlist graph, loop enumeration and the
 //!   `m/(m+n)` throughput law;
-//! * [`sim`](wp_sim) — golden and wire-pipelined cycle-accurate simulators;
-//! * [`proc`](wp_proc) — the five-block case-study processor, its ISA,
+//! * [`sim`] (`wp_sim`) — golden and wire-pipelined cycle-accurate
+//!   simulators;
+//! * [`proc`] (`wp_proc`) — the five-block case-study processor, its ISA,
 //!   assembler and benchmark programs;
-//! * [`floorplan`](wp_floorplan) — placement, wire delay and relay-station
-//!   budgeting;
-//! * [`area`](wp_area) — wrapper area overhead model.
+//! * [`floorplan`] (`wp_floorplan`) — placement, wire delay and
+//!   relay-station budgeting;
+//! * [`area`] (`wp_area`) — wrapper area overhead model.
 //!
 //! See the `examples/` directory for runnable entry points and the
 //! `wp-bench` crate for the experiment harness that regenerates every table
