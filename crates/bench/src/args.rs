@@ -10,30 +10,102 @@
 //!   default, selects the auto heuristic; `1` moves work one scenario at a
 //!   time).  Workers always lease one scenario per deque lock, so queued
 //!   work stays stealable regardless of the batch size.
+//!
+//! Both the `--flag value` and the `--flag=value` spellings are accepted.
+//! Parsing returns [`ArgError`] instead of exiting, so it is unit-testable;
+//! the binaries keep exiting with status 2 through [`ArgError::exit`].
+
+use std::fmt;
 
 use wp_sim::SweepRunner;
 
-/// Scans `args` for `name` and returns the value token following it.
-///
-/// A flag's value must not itself be a flag (`--json --quick` is a
-/// forgotten value, not a report named `--quick`): a present flag with a
-/// missing or `--`-prefixed value exits with status 2, like the other
-/// argument errors of the experiment binaries.  Returns `None` when the
-/// flag is absent.
-pub fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).map(|i| {
-        match args.get(i + 1).filter(|v| !v.starts_with("--")) {
-            Some(v) => v.clone(),
-            None => {
-                eprintln!("error: {name} expects a value");
-                std::process::exit(2);
-            }
+/// A malformed command line, as reported by [`flag_value`] and
+/// [`SweepArgs::from_args`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag was present but no value followed it (either the command line
+    /// ended, or the next token was another `--flag` — `--json --quick` is
+    /// a forgotten value, not a report named `--quick`).
+    MissingValue {
+        /// The flag missing its value.
+        flag: String,
+    },
+    /// A flag's value failed to parse.
+    InvalidValue {
+        /// The offending flag.
+        flag: String,
+        /// The raw value given.
+        value: String,
+        /// What the flag expects (e.g. "a non-negative integer").
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue { flag } => write!(f, "{flag} expects a value"),
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "{flag} expects {expected}, got '{value}'"),
         }
-    })
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ArgError {
+    /// Prints the error and exits with status 2, the argument-error exit
+    /// code shared by all experiment binaries.  Only the binaries call
+    /// this; library code propagates the error.
+    pub fn exit(&self) -> ! {
+        eprintln!("error: {self}");
+        std::process::exit(2);
+    }
+}
+
+/// Scans `args` for the flag `name` and returns its value, accepting both
+/// the `--flag value` and the `--flag=value` spelling.
+///
+/// A separate value token must not itself be a `--`-prefixed flag; a
+/// single-dash token like `-1` *is* taken as the value (and then rejected
+/// by the caller's parse with a precise message, rather than a confusing
+/// "expects a value" here).  Returns `Ok(None)` when the flag is absent.
+///
+/// # Errors
+///
+/// Returns [`ArgError::MissingValue`] when the flag is present without a
+/// usable value (including the empty `--flag=`).
+pub fn flag_value(args: &[String], name: &str) -> Result<Option<String>, ArgError> {
+    for (i, arg) in args.iter().enumerate() {
+        if arg == name {
+            return match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(ArgError::MissingValue {
+                    flag: name.to_string(),
+                }),
+            };
+        }
+        if let Some(v) = arg
+            .strip_prefix(name)
+            .and_then(|rest| rest.strip_prefix('='))
+        {
+            return if v.is_empty() {
+                Err(ArgError::MissingValue {
+                    flag: name.to_string(),
+                })
+            } else {
+                Ok(Some(v.to_string()))
+            };
+        }
+    }
+    Ok(None)
 }
 
 /// Parsed `--workers` / `--batch` scheduler flags.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepArgs {
     /// Worker thread count (`0` = available parallelism).
     pub workers: usize,
@@ -45,28 +117,35 @@ impl SweepArgs {
     /// Parses the scheduler flags out of the process arguments, ignoring
     /// any flags it does not know.
     ///
-    /// Exits with status 2 on a malformed or missing value (a flag followed
-    /// by another `--flag` counts as missing), like the other argument
-    /// errors of the experiment binaries.
-    pub fn from_env() -> Self {
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a malformed or missing value; binaries
+    /// report it with [`ArgError::exit`] (status 2).
+    pub fn from_env() -> Result<Self, ArgError> {
         let args: Vec<String> = std::env::args().skip(1).collect();
         Self::from_args(&args)
     }
 
     /// [`SweepArgs::from_env`] over an explicit argument list.
-    pub fn from_args(args: &[String]) -> Self {
-        let parse = |name: &str| -> usize {
-            flag_value(args, name).map_or(0, |v| {
-                v.parse().unwrap_or_else(|_| {
-                    eprintln!("error: {name} expects a non-negative integer, got '{v}'");
-                    std::process::exit(2);
-                })
-            })
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a malformed or missing value.
+    pub fn from_args(args: &[String]) -> Result<Self, ArgError> {
+        let parse = |name: &'static str| -> Result<usize, ArgError> {
+            match flag_value(args, name)? {
+                None => Ok(0),
+                Some(v) => v.parse().map_err(|_| ArgError::InvalidValue {
+                    flag: name.to_string(),
+                    value: v,
+                    expected: "a non-negative integer",
+                }),
+            }
         };
-        Self {
-            workers: parse("--workers"),
-            batch: parse("--batch"),
-        }
+        Ok(Self {
+            workers: parse("--workers")?,
+            batch: parse("--batch")?,
+        })
     }
 
     /// Builds the configured [`SweepRunner`].
@@ -85,7 +164,7 @@ mod tests {
 
     #[test]
     fn defaults_to_auto_everything() {
-        let args = SweepArgs::from_args(&strings(&["--quick"]));
+        let args = SweepArgs::from_args(&strings(&["--quick"])).expect("parses");
         assert_eq!(args.workers, 0);
         assert_eq!(args.batch, 0);
         assert!(args.runner().workers() >= 1);
@@ -101,7 +180,8 @@ mod tests {
             "sort",
             "--workers",
             "2",
-        ]));
+        ]))
+        .expect("parses");
         assert_eq!(args.workers, 2);
         assert_eq!(args.batch, 3);
         let runner = args.runner();
@@ -110,11 +190,72 @@ mod tests {
     }
 
     #[test]
-    fn absent_flags_return_none() {
-        assert_eq!(flag_value(&strings(&["--quick"]), "--json"), None);
+    fn parses_the_equals_spelling() {
+        let args = SweepArgs::from_args(&strings(&["--workers=2", "--batch=7"])).expect("parses");
+        assert_eq!(args.workers, 2);
+        assert_eq!(args.batch, 7);
         assert_eq!(
-            flag_value(&strings(&["--json", "out.json"]), "--json").as_deref(),
-            Some("out.json")
+            flag_value(&strings(&["--json=out.json"]), "--json"),
+            Ok(Some("out.json".to_string()))
         );
+    }
+
+    #[test]
+    fn absent_flags_return_none() {
+        assert_eq!(flag_value(&strings(&["--quick"]), "--json"), Ok(None));
+        assert_eq!(
+            flag_value(&strings(&["--json", "out.json"]), "--json"),
+            Ok(Some("out.json".to_string()))
+        );
+    }
+
+    #[test]
+    fn missing_values_are_reported_not_exited() {
+        let missing = |flag: &str| ArgError::MissingValue {
+            flag: flag.to_string(),
+        };
+        assert_eq!(
+            flag_value(&strings(&["--json"]), "--json"),
+            Err(missing("--json"))
+        );
+        assert_eq!(
+            flag_value(&strings(&["--json", "--quick"]), "--json"),
+            Err(missing("--json"))
+        );
+        assert_eq!(
+            flag_value(&strings(&["--json="]), "--json"),
+            Err(missing("--json"))
+        );
+        assert_eq!(
+            SweepArgs::from_args(&strings(&["--workers"])),
+            Err(missing("--workers"))
+        );
+    }
+
+    /// `-1` is a value (later rejected by the integer parse with a precise
+    /// message), not a "missing value" case.
+    #[test]
+    fn single_dash_tokens_are_values() {
+        assert_eq!(
+            flag_value(&strings(&["--workers", "-1"]), "--workers"),
+            Ok(Some("-1".to_string()))
+        );
+        let err = SweepArgs::from_args(&strings(&["--workers", "-1"])).unwrap_err();
+        assert_eq!(
+            err,
+            ArgError::InvalidValue {
+                flag: "--workers".to_string(),
+                value: "-1".to_string(),
+                expected: "a non-negative integer",
+            }
+        );
+        assert!(err.to_string().contains("-1"));
+        assert!(err.to_string().contains("non-negative integer"));
+    }
+
+    #[test]
+    fn prefix_flags_are_not_confused() {
+        // "--batch" must not match "--batch-size" style prefixes.
+        assert_eq!(flag_value(&strings(&["--batches=9"]), "--batch"), Ok(None));
     }
 }

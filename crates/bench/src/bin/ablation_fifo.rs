@@ -6,15 +6,29 @@
 //!
 //! The 2 × depths wire-pipelined runs are swept across worker threads by
 //! `wp_sim::SweepRunner`'s work-stealing scheduler; control it with
-//! `--workers N` and `--batch N`.
+//! `--workers N` and `--batch N`.  Pass `--verify` to stream every run
+//! against its golden twin while it executes and print the proven
+//! equivalence prefix (N) per depth and policy.
 
-use wp_bench::{soc_scenario_with_config, sort_workload, SweepArgs, MAX_CYCLES};
+use wp_bench::{
+    soc_scenario_with_config, sort_workload, with_soc_equivalence, SweepArgs, MAX_CYCLES,
+};
 use wp_core::ShellConfig;
 use wp_proc::SocState;
 use wp_proc::{run_golden_soc, Link, Organization, RsConfig};
 use wp_sim::SweepOutcome;
 
+/// The proven N of one outcome, or "-" when the gate was off.
+fn proven(outcome: &SweepOutcome<SocState>) -> String {
+    outcome
+        .equivalence
+        .as_ref()
+        .map_or_else(|| "-".to_string(), |r| r.proven_n().to_string())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = args.iter().any(|a| a == "--verify");
     let workload = sort_workload();
     let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)?;
     let rs = RsConfig::uniform(1, &[Link::CuIc]);
@@ -28,17 +42,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ("WP2", ShellConfig::oracle()),
             ]
             .map(|(tag, config)| {
-                soc_scenario_with_config(
+                let scenario = soc_scenario_with_config(
                     format!("depth{depth}_{tag}"),
                     &workload,
                     Organization::Pipelined,
                     rs,
                     config.with_fifo_capacity(depth),
-                )
+                );
+                if verify {
+                    with_soc_equivalence(scenario, &workload, Organization::Pipelined, rs)
+                } else {
+                    scenario
+                }
             })
         })
         .collect();
     let outcomes: Vec<SweepOutcome<SocState>> = SweepArgs::from_env()
+        .unwrap_or_else(|e| e.exit())
         .runner()
         .run(scenarios)
         .into_iter()
@@ -46,18 +66,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("FIFO-depth ablation: sort, pipelined, All 1 (no CU-IC)\n");
     println!(
-        "{:>8} {:>10} {:>10} {:>8} {:>8}",
-        "depth", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2"
+        "{:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "depth", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2", "N WP1", "N WP2"
     );
     for (i, &depth) in depths.iter().enumerate() {
         let wp1 = &outcomes[2 * i];
         let wp2 = &outcomes[2 * i + 1];
+        if let Some(report) = wp1.equivalence.as_ref().filter(|r| !r.is_equivalent()) {
+            return Err(format!("{}: {report}", wp1.label).into());
+        }
+        if let Some(report) = wp2.equivalence.as_ref().filter(|r| !r.is_equivalent()) {
+            return Err(format!("{}: {report}", wp2.label).into());
+        }
         println!(
-            "{depth:>8} {:>10} {:>10} {:>8.3} {:>8.3}",
+            "{depth:>8} {:>10} {:>10} {:>8.3} {:>8.3} {:>8} {:>8}",
             wp1.cycles_to_goal,
             wp2.cycles_to_goal,
             golden.cycles as f64 / wp1.cycles_to_goal as f64,
-            golden.cycles as f64 / wp2.cycles_to_goal as f64
+            golden.cycles as f64 / wp2.cycles_to_goal as f64,
+            proven(wp1),
+            proven(wp2),
         );
     }
     Ok(())

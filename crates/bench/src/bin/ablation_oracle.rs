@@ -7,55 +7,78 @@
 //!
 //! All degradation levels run as one `wp_sim::SweepRunner` sweep over
 //! `wp_bench::degraded_ring_scenario`; control the scheduler with
-//! `--workers N` and `--batch N`.
+//! `--workers N` and `--batch N`.  Pass `--verify` to stream every run
+//! against its golden twin (`wp_bench::build_degraded_ring` with shells
+//! stripped) and print the proven equivalence prefix (N) per row.
 
-use wp_bench::{degraded_ring_scenario, SweepArgs};
+use wp_bench::{build_degraded_ring, degraded_ring_scenario, SweepArgs};
 use wp_core::SyncPolicy;
-use wp_sim::{SweepError, SweepOutcome};
+use wp_sim::{Scenario, SweepOutcome};
 
 const FIRINGS: u64 = 2_000;
 
-fn main() -> Result<(), SweepError> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     const PERIODS: [u64; 6] = [1, 2, 4, 8, 16, 64];
-    let mut scenarios = vec![degraded_ring_scenario(
-        "wp1",
-        None,
-        SyncPolicy::Strict,
-        FIRINGS,
-    )];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = args.iter().any(|a| a == "--verify");
+    let scenario = |label: String, period: Option<u64>, policy: SyncPolicy| -> Scenario<u64> {
+        let s = degraded_ring_scenario(label, period, policy, FIRINGS);
+        if verify {
+            s.with_equivalence_check(move || build_degraded_ring(period))
+        } else {
+            s
+        }
+    };
+    let mut scenarios = vec![scenario("wp1".into(), None, SyncPolicy::Strict)];
     for period in PERIODS {
-        scenarios.push(degraded_ring_scenario(
+        scenarios.push(scenario(
             format!("wp2_degraded_{period}"),
             Some(period),
             SyncPolicy::Oracle,
-            FIRINGS,
         ));
     }
-    scenarios.push(degraded_ring_scenario(
-        "wp2_exact",
+    scenarios.push(scenario(
+        "wp2_exact".into(),
         Some(u64::MAX),
         SyncPolicy::Oracle,
-        FIRINGS,
     ));
 
     let outcomes: Vec<SweepOutcome> = SweepArgs::from_env()
+        .unwrap_or_else(|e| e.exit())
         .runner()
         .run(scenarios)
         .into_iter()
         .collect::<Result<_, _>>()?;
+    for outcome in &outcomes {
+        if let Some(report) = outcome.equivalence.as_ref().filter(|r| !r.is_equivalent()) {
+            return Err(format!("{}: {report}", outcome.label).into());
+        }
+    }
     let th = |i: usize| outcomes[i].report.throughput_of(0);
+    let proven = |i: usize| -> String {
+        outcomes[i]
+            .equivalence
+            .as_ref()
+            .map_or_else(String::new, |r| format!("  (proven N = {})", r.proven_n()))
+    };
 
     println!("Oracle-quality ablation: 2-process loop, 1 RS, loop needed every 4th firing\n");
-    println!("WP1 (no oracle)                    Th = {:.3}", th(0));
+    println!(
+        "WP1 (no oracle)                    Th = {:.3}{}",
+        th(0),
+        proven(0)
+    );
     for (i, period) in PERIODS.iter().enumerate() {
         println!(
-            "WP2, oracle degraded every {period:>3} queries  Th = {:.3}",
-            th(i + 1)
+            "WP2, oracle degraded every {period:>3} queries  Th = {:.3}{}",
+            th(i + 1),
+            proven(i + 1)
         );
     }
     println!(
-        "WP2 (exact oracle)                 Th = {:.3}",
-        th(PERIODS.len() + 1)
+        "WP2 (exact oracle)                 Th = {:.3}{}",
+        th(PERIODS.len() + 1),
+        proven(PERIODS.len() + 1)
     );
     Ok(())
 }

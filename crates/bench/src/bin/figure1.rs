@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
         })
         .collect();
-    let outcomes = SweepArgs::from_env().runner().run(scenarios);
+    let outcomes = SweepArgs::from_env()
+        .unwrap_or_else(|e| e.exit())
+        .runner()
+        .run(scenarios);
 
     println!("\nPer-link worst loop (1 RS on that link only):");
     println!(

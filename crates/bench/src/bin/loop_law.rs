@@ -19,7 +19,7 @@ fn throughput(outcome: &SweepOutcome) -> f64 {
 }
 
 fn main() -> Result<(), SweepError> {
-    let runner = SweepArgs::from_env().runner();
+    let runner = SweepArgs::from_env().unwrap_or_else(|e| e.exit()).runner();
 
     // The m × n grid: one scenario per (m, n) pair.
     let grid: Vec<(usize, usize)> = (1..=6usize)

@@ -5,20 +5,26 @@
 //! The 2 × configurations wire-pipelined runs of each table are swept across
 //! worker threads by `wp_sim::SweepRunner`'s work-stealing scheduler.
 //!
-//! Usage: `table1 [--program sort|matmul|both] [--quick] [--workers N]
-//! [--batch N] [--json PATH]`
+//! Usage: `table1 [--program sort|matmul|both] [--quick] [--verify]
+//! [--workers N] [--batch N] [--json PATH]`
 //!
 //! `--quick` shrinks the workloads and the configuration sweep to a few
 //! seconds of wall-clock and writes the machine-readable report
 //! `BENCH_table1.json` (rows + wall time); CI uses it as the smoke run and
 //! uploads the JSON as an artifact.  `--json PATH` writes the report to an
 //! explicit path (with or without `--quick`).
+//!
+//! `--verify` enables the per-scenario equivalence gate: every
+//! wire-pipelined run is streamed against a demand-stepped golden twin
+//! while it executes (`wp_core::StreamingEquivalence`), the proven N per
+//! policy is appended to the printed table and the JSON rows, and any
+//! non-equivalent scenario fails the whole run.
 
 use std::time::Instant;
 
 use wp_bench::{
-    bench_report_json, flag_value, format_table, matmul_workload, run_table_on, sort_workload,
-    table1_base_configs, table1_two_rs_configs, BenchTable, SweepArgs,
+    bench_report_json, flag_value, format_table, matmul_workload, run_table_on, run_table_verified,
+    sort_workload, table1_base_configs, table1_two_rs_configs, BenchTable, SweepArgs,
 };
 use wp_proc::{extraction_sort, matrix_multiply, Organization, RsConfig, SocError, Workload};
 use wp_sim::SweepRunner;
@@ -26,6 +32,7 @@ use wp_sim::SweepRunner;
 struct Args {
     program: String,
     quick: bool,
+    verify: bool,
     sweep: SweepArgs,
     json: Option<String>,
 }
@@ -33,14 +40,15 @@ struct Args {
 fn parse_args() -> Args {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name| flag_value(&args, name).unwrap_or_else(|e| e.exit());
     Args {
-        program: flag_value(&args, "--program")
+        program: flag("--program")
             .or_else(|| args.first().cloned().filter(|a| !a.starts_with("--")))
             .unwrap_or_else(|| "both".to_string()),
         quick,
-        sweep: SweepArgs::from_args(&args),
-        json: flag_value(&args, "--json")
-            .or_else(|| quick.then(|| "BENCH_table1.json".to_string())),
+        verify: args.iter().any(|a| a == "--verify"),
+        sweep: SweepArgs::from_args(&args).unwrap_or_else(|e| e.exit()),
+        json: flag("--json").or_else(|| quick.then(|| "BENCH_table1.json".to_string())),
     }
 }
 
@@ -67,9 +75,23 @@ fn sort_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocError>
             1,
         ));
     }
-    let rows = run_table_on(runner, &workload, Organization::Pipelined, &configs)?;
+    let rows = run(args, runner, &workload, &configs)?;
     println!("{}", format_table(&label, &rows));
     Ok(BenchTable { title: label, rows })
+}
+
+/// Dispatches to the verified or unverified table runner.
+fn run(
+    args: &Args,
+    runner: &SweepRunner,
+    workload: &Workload,
+    configs: &[(String, RsConfig)],
+) -> Result<Vec<wp_bench::TableRow>, SocError> {
+    if args.verify {
+        run_table_verified(runner, workload, Organization::Pipelined, configs)
+    } else {
+        run_table_on(runner, workload, Organization::Pipelined, configs)
+    }
 }
 
 fn matmul_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocError> {
@@ -101,7 +123,7 @@ fn matmul_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocErro
             2,
         ));
     }
-    let rows = run_table_on(runner, &workload, Organization::Pipelined, &configs)?;
+    let rows = run(args, runner, &workload, &configs)?;
     println!("{}", format_table(&label, &rows));
     Ok(BenchTable { title: label, rows })
 }
@@ -110,13 +132,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args();
     let runner = args.sweep.runner();
     eprintln!(
-        "sweeping wire-pipelined runs across {} worker thread(s), batch {}",
+        "sweeping wire-pipelined runs across {} worker thread(s), batch {}, equivalence gate {}",
         runner.workers(),
         if runner.batch() == 0 {
             "auto".to_string()
         } else {
             runner.batch().to_string()
-        }
+        },
+        if args.verify { "on" } else { "off" },
     );
     let start = Instant::now();
     let mut tables = Vec::new();

@@ -64,7 +64,8 @@ fn push_row(out: &mut String, row: &TableRow) {
         out,
         "{{\"label\": {}, \"golden_cycles\": {}, \"wp1_cycles\": {}, \
          \"wp2_cycles\": {}, \"th_wp1\": {}, \"th_wp2\": {}, \
-         \"th_wp1_predicted\": {}, \"improvement_percent\": {}}}",
+         \"th_wp1_predicted\": {}, \"improvement_percent\": {}, \
+         \"proven_n_wp1\": {}, \"proven_n_wp2\": {}}}",
         json_string(&row.label),
         row.golden_cycles,
         row.wp1_cycles,
@@ -73,7 +74,15 @@ fn push_row(out: &mut String, row: &TableRow) {
         json_f64(row.th_wp2),
         json_f64(row.th_wp1_predicted),
         json_f64(row.improvement_percent),
+        json_opt_usize(row.proven_n_wp1),
+        json_opt_usize(row.proven_n_wp2),
     );
+}
+
+/// Formats an optional count as a JSON number or `null` (the equivalence
+/// gate was off).
+fn json_opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
 }
 
 /// Escapes a string per RFC 8259 (quotes, backslashes, control characters).
@@ -128,14 +137,19 @@ mod tests {
             th_wp2: 100.0 / 120.0,
             th_wp1_predicted: 0.75,
             improvement_percent: 25.0,
+            proven_n_wp1: None,
+            proven_n_wp2: None,
         }
     }
 
     #[test]
     fn report_contains_rows_and_wall_time() {
+        let mut verified = row("All 0 (ideal)");
+        verified.proven_n_wp1 = Some(314);
+        verified.proven_n_wp2 = Some(159);
         let tables = vec![BenchTable {
             title: "Table 1 \"quick\"".to_string(),
-            rows: vec![row("All 0 (ideal)"), row("Only RF-DC")],
+            rows: vec![verified, row("Only RF-DC")],
         }];
         let json = bench_report_json("table1", 4, 1, 1.25, &tables);
         assert!(json.contains("\"bench\": \"table1\""));
@@ -145,6 +159,11 @@ mod tests {
         assert!(json.contains("\"label\": \"Only RF-DC\""));
         assert!(json.contains("\"golden_cycles\": 100"));
         assert!(json.contains("\"improvement_percent\": 25.0"));
+        // The equivalence gate surfaces proven N as a number, or null when
+        // the gate was off for that row.
+        assert!(json.contains("\"proven_n_wp1\": 314"));
+        assert!(json.contains("\"proven_n_wp2\": 159"));
+        assert!(json.contains("\"proven_n_wp1\": null"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 mod args;
 mod json;
 
-pub use args::{flag_value, SweepArgs};
+pub use args::{flag_value, ArgError, SweepArgs};
 pub use json::{bench_report_json, BenchTable};
 
 use wp_core::{PortSet, Process, ShellConfig, SyncPolicy};
@@ -59,6 +59,13 @@ pub struct TableRow {
     pub th_wp1_predicted: f64,
     /// Relative improvement of WP2 over WP1, in percent.
     pub improvement_percent: f64,
+    /// Proven equivalence prefix length (N) of the WP1 run against its
+    /// golden twin; `None` when the sweep ran without the equivalence gate
+    /// ([`run_table_verified`]).
+    pub proven_n_wp1: Option<usize>,
+    /// Proven equivalence prefix length (N) of the WP2 run against its
+    /// golden twin; `None` when the gate was off.
+    pub proven_n_wp2: Option<usize>,
 }
 
 impl TableRow {
@@ -91,6 +98,8 @@ impl TableRow {
             } else {
                 0.0
             },
+            proven_n_wp1: None,
+            proven_n_wp2: None,
         }
     }
 }
@@ -216,6 +225,21 @@ pub fn soc_scenario_with_config(
     .with_post(|sim| soc_state(sim).expect("scenario was built by build_soc"))
 }
 
+/// Installs the per-scenario equivalence gate on a SoC sweep scenario: the
+/// run is streamed against a demand-stepped golden twin of the *same*
+/// system description (`wp_sim::GoldenSimulator` ignores shells and relay
+/// stations, so the twin shares the factory), and the proven N lands in the
+/// outcome's [`wp_sim::SweepOutcome::equivalence`].
+pub fn with_soc_equivalence<T>(
+    scenario: Scenario<Msg, T>,
+    workload: &Workload,
+    org: Organization,
+    rs: RsConfig,
+) -> Scenario<Msg, T> {
+    let workload = workload.clone();
+    scenario.with_equivalence_check(move || build_soc(&workload, org, &rs))
+}
+
 /// Builds the sweep scenario for one synthetic-ring throughput measurement:
 /// `stages` stages, `relay_stations` on the first edge, the first stage's
 /// loop input needed every `skip_period`-th firing (when `Some`), run until
@@ -243,8 +267,9 @@ pub fn ring_scenario(
     )
 }
 
-/// Unwraps one SoC sweep outcome and validates the program result against
-/// the workload.
+/// Unwraps one SoC sweep outcome, validates the program result against the
+/// workload and — when the equivalence gate ran — requires the streamed
+/// golden-vs-pipelined comparison to have come back equivalent.
 fn check_soc_outcome(
     workload: &Workload,
     outcome: Result<SweepOutcome<SocState>, wp_sim::SweepError>,
@@ -253,6 +278,11 @@ fn check_soc_outcome(
     let state = outcome.post.as_ref().ok_or(SocError::MemoryUnavailable)?;
     if !workload.check(&state.memory[..workload.expected_memory.len()]) {
         return Err(SocError::WrongResult);
+    }
+    if let Some(report) = &outcome.equivalence {
+        if !report.is_equivalent() || report.is_vacuous() {
+            return Err(SocError::NotEquivalent(report.to_string()));
+        }
     }
     Ok(outcome)
 }
@@ -284,17 +314,51 @@ pub fn run_table_on(
     org: Organization,
     configs: &[(String, RsConfig)],
 ) -> Result<Vec<TableRow>, SocError> {
+    run_table_impl(runner, workload, org, configs, false)
+}
+
+/// [`run_table_on`] with the per-scenario equivalence gate enabled: every
+/// wire-pipelined run is streamed against a demand-stepped golden twin
+/// while it executes, a non-equivalent scenario fails the whole table with
+/// [`SocError::NotEquivalent`], and the proven N per policy lands in
+/// [`TableRow::proven_n_wp1`] / [`TableRow::proven_n_wp2`] (surfaced by
+/// [`format_table`] and the JSON report).
+///
+/// # Errors
+///
+/// Propagates any [`SocError`] from the underlying runs, including gate
+/// failures.
+pub fn run_table_verified(
+    runner: &SweepRunner,
+    workload: &Workload,
+    org: Organization,
+    configs: &[(String, RsConfig)],
+) -> Result<Vec<TableRow>, SocError> {
+    run_table_impl(runner, workload, org, configs, true)
+}
+
+fn run_table_impl(
+    runner: &SweepRunner,
+    workload: &Workload,
+    org: Organization,
+    configs: &[(String, RsConfig)],
+    verify: bool,
+) -> Result<Vec<TableRow>, SocError> {
     let golden = run_golden_soc(workload, org, MAX_CYCLES)?;
     let mut scenarios = Vec::with_capacity(configs.len() * 2);
     for (label, rs) in configs {
         for policy in [SyncPolicy::Strict, SyncPolicy::Oracle] {
-            scenarios.push(soc_scenario(
+            let mut scenario = soc_scenario(
                 format!("{label}/{}", policy.label()),
                 workload,
                 org,
                 *rs,
                 policy,
-            ));
+            );
+            if verify {
+                scenario = with_soc_equivalence(scenario, workload, org, *rs);
+            }
+            scenarios.push(scenario);
         }
     }
     let mut outcomes = runner.run(scenarios).into_iter();
@@ -303,23 +367,34 @@ pub fn run_table_on(
         let wp1 = check_soc_outcome(workload, outcomes.next().expect("one outcome per scenario"))?;
         let wp2 = check_soc_outcome(workload, outcomes.next().expect("one outcome per scenario"))?;
         let predicted = predict_wp1_throughput(workload, org, rs);
-        rows.push(TableRow::new(
+        let mut row = TableRow::new(
             label.clone(),
             golden.cycles,
             wp1.cycles_to_goal,
             wp2.cycles_to_goal,
             predicted,
-        ));
+        );
+        row.proven_n_wp1 = wp1.equivalence.as_ref().map(|r| r.proven_n());
+        row.proven_n_wp2 = wp2.equivalence.as_ref().map(|r| r.proven_n());
+        rows.push(row);
     }
     Ok(rows)
 }
 
 /// Formats table rows like the paper's Table 1 (plus the analytic column).
+///
+/// When any row carries proven-N values (the table was produced by
+/// [`run_table_verified`]) two extra columns surface the equivalence prefix
+/// proven per policy; rows without a value show `-`.
 pub fn format_table(title: &str, rows: &[TableRow]) -> String {
     use std::fmt::Write as _;
+    let verified = rows
+        .iter()
+        .any(|r| r.proven_n_wp1.is_some() || r.proven_n_wp2.is_some());
+    let opt = |n: Option<usize>| n.map_or_else(|| "-".to_string(), |n| n.to_string());
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let _ = writeln!(
+    let _ = write!(
         out,
         "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>12}",
         "RS Configuration",
@@ -331,8 +406,12 @@ pub fn format_table(title: &str, rows: &[TableRow]) -> String {
         "law WP1",
         "WP2 vs WP1"
     );
+    if verified {
+        let _ = write!(out, " {:>8} {:>8}", "N WP1", "N WP2");
+    }
+    out.push('\n');
     for r in rows {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{:<24} {:>8} {:>8} {:>8} {:>8.3} {:>8.3} {:>9.3} {:>+11.0}%",
             r.label,
@@ -344,6 +423,15 @@ pub fn format_table(title: &str, rows: &[TableRow]) -> String {
             r.th_wp1_predicted,
             r.improvement_percent
         );
+        if verified {
+            let _ = write!(
+                out,
+                " {:>8} {:>8}",
+                opt(r.proven_n_wp1),
+                opt(r.proven_n_wp2)
+            );
+        }
+        out.push('\n');
     }
     out
 }

@@ -19,8 +19,10 @@
 //! * [`BoundedFifo`] — the finite input queues of the shells;
 //! * [`Shell`] — the wrapper itself, in the strict (WP1) or oracle (WP2)
 //!   flavour selected by [`SyncPolicy`];
-//! * [`ChannelTrace`] and [`check_equivalence`] — the recording and the
-//!   N-equivalence check used to prove that wrapping preserved functionality.
+//! * [`ChannelTrace`] / [`TraceArena`] and [`check_equivalence`] /
+//!   [`StreamingEquivalence`] — the recording (standalone or arena-backed)
+//!   and the N-equivalence checks (batch or streaming) used to prove that
+//!   wrapping preserved functionality.
 //!
 //! Higher-level crates assemble these pieces into full systems:
 //! `wp-netlist` (graph analysis and the m/(m+n) loop-throughput law),
@@ -74,6 +76,7 @@ mod trace;
 
 pub use equivalence::{
     check_equivalence, compare_filtered, n_equivalent, ChannelVerdict, EquivalenceReport,
+    StreamingEquivalence,
 };
 pub use error::ProtocolError;
 pub use fifo::BoundedFifo;
@@ -82,4 +85,4 @@ pub use process::{collect_outputs, Process, RecordingSink, SequenceSource};
 pub use relay::{RelayChain, RelayStation};
 pub use shell::{Shell, ShellConfig, ShellStats, StallCause, SyncPolicy};
 pub use token::{Event, Token};
-pub use trace::ChannelTrace;
+pub use trace::{ChannelTrace, TraceArena, TraceEntry, TraceRef};

@@ -2,9 +2,24 @@
 //!
 //! A *realisation* of a channel over a time interval is the sequence of
 //! tokens observed on it, void symbols included — exactly the
-//! `(v1,t1), τ, τ, (v2,t2), …` sequences of the paper.  [`ChannelTrace`]
-//! records such a realisation; τ-filtering and tag reconstruction turn it
-//! into the event sequence used by the equivalence definitions.
+//! `(v1,t1), τ, τ, (v2,t2), …` sequences of the paper.  Two recorders
+//! implement that model:
+//!
+//! * [`ChannelTrace`] is the simple, self-contained recorder: one growing
+//!   `Vec<Token<V>>` per channel.  It remains the right tool for tests and
+//!   one-off recordings.
+//! * [`TraceArena`] is the simulators' recorder: **one shared token slab**
+//!   for the payloads of every channel plus per-channel `(cycle, slot)`
+//!   index lists ([`TraceEntry`]).  Void symbols cost no storage (only a
+//!   cycle-counter bump), capacity can be reserved up front
+//!   ([`TraceArena::reserve_cycles`]) so recording performs **zero heap
+//!   allocations in steady state**, and [`TraceRef`] exposes each channel
+//!   through the same read API as [`ChannelTrace`] without materialising
+//!   anything.
+//!
+//! τ-filtering and tag reconstruction turn either recording into the event
+//! sequence used by the equivalence definitions (see
+//! [`crate::check_equivalence`] and [`crate::StreamingEquivalence`]).
 
 use std::fmt;
 
@@ -115,6 +130,297 @@ impl<V: fmt::Display> fmt::Display for ChannelTrace<V> {
     }
 }
 
+/// Position of one valid token inside a [`TraceArena`]: the cycle it was
+/// observed in and the slot of its payload in the arena's shared slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEntry {
+    /// The per-channel cycle (record index) the token was observed in.
+    pub cycle: u64,
+    /// Index of the payload in the arena's shared token slab.
+    pub slot: usize,
+}
+
+/// One channel's recording inside a [`TraceArena`]: its name, how many
+/// cycles were recorded, and where its valid tokens live in the shared slab.
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    name: String,
+    cycles: u64,
+    entries: Vec<TraceEntry>,
+}
+
+/// Arena-backed recorder for the realisations of many channels at once.
+///
+/// All valid-token payloads share **one slab**; each channel keeps only a
+/// `(cycle, slot)` index list ([`TraceEntry`]) into it, so a void symbol τ
+/// costs no storage at all (just a cycle-counter bump).  With capacity
+/// reserved up front ([`TraceArena::reserve_cycles`]) recording performs
+/// zero heap allocations, which is what lets the simulators keep their
+/// steady-state allocation-free guarantee with traces *enabled*.
+///
+/// Channels are addressed by the index order of the names given to
+/// [`TraceArena::new`]; [`TraceArena::channel`] returns a borrowed
+/// [`TraceRef`] exposing the familiar [`ChannelTrace`] read API.
+///
+/// # Examples
+///
+/// ```
+/// use wp_core::{Token, TraceArena};
+///
+/// let mut arena = TraceArena::new(["a", "b"]);
+/// arena.record(0, Token::Valid(1u32));
+/// arena.record(1, Token::Void);
+/// arena.record(0, Token::Valid(2));
+/// assert_eq!(arena.channel(0).filtered(), vec![1, 2]);
+/// assert_eq!(arena.channel(1).len(), 1);
+/// assert_eq!(arena.total_valid(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceArena<V> {
+    slab: Vec<V>,
+    lanes: Vec<Lane>,
+}
+
+impl<V> TraceArena<V> {
+    /// Creates an arena recording one channel per name, in order.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            slab: Vec::new(),
+            lanes: names
+                .into_iter()
+                .map(|name| Lane {
+                    name: name.into(),
+                    cycles: 0,
+                    entries: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of channels the arena records.
+    pub fn num_channels(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Borrowed view of one channel's recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn channel(&self, index: usize) -> TraceRef<'_, V> {
+        assert!(index < self.lanes.len(), "channel index out of range");
+        TraceRef { arena: self, index }
+    }
+
+    /// Iterates over the per-channel views, in channel order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceRef<'_, V>> {
+        (0..self.lanes.len()).map(|index| TraceRef { arena: self, index })
+    }
+
+    /// The channel names, in channel order.
+    pub fn channel_names(&self) -> impl Iterator<Item = &str> {
+        self.lanes.iter().map(|l| l.name.as_str())
+    }
+
+    /// Records the token observed on `channel` during one more cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn record(&mut self, channel: usize, token: Token<V>) {
+        match token {
+            Token::Valid(v) => self.record_valid(channel, v),
+            Token::Void => self.record_void(channel),
+        }
+    }
+
+    /// Records a valid token on `channel`: the payload goes to the shared
+    /// slab, the `(cycle, slot)` pair to the channel's index list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[inline]
+    pub fn record_valid(&mut self, channel: usize, value: V) {
+        let slot = self.slab.len();
+        self.slab.push(value);
+        let lane = &mut self.lanes[channel];
+        lane.entries.push(TraceEntry {
+            cycle: lane.cycles,
+            slot,
+        });
+        lane.cycles += 1;
+    }
+
+    /// Records the void symbol τ on `channel`: no storage, just a
+    /// cycle-counter bump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[inline]
+    pub fn record_void(&mut self, channel: usize) {
+        self.lanes[channel].cycles += 1;
+    }
+
+    /// Total number of valid tokens recorded across all channels (the
+    /// occupancy of the shared slab).
+    pub fn total_valid(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Reserves capacity for `additional` more recorded cycles on every
+    /// channel: the slab grows by `additional × num_channels` slots (every
+    /// channel records at most one valid token per cycle) and each
+    /// channel's index list by `additional` entries.  After the
+    /// reservation, recording that many cycles performs no heap allocation.
+    pub fn reserve_cycles(&mut self, additional: usize) {
+        self.slab
+            .reserve(additional.saturating_mul(self.lanes.len()));
+        for lane in &mut self.lanes {
+            lane.entries.reserve(additional);
+        }
+    }
+
+    /// Clears every recording (names and capacity are retained), so the
+    /// arena can be refilled without reallocating — the streaming
+    /// equivalence path drains and clears it chunk by chunk.
+    pub fn clear(&mut self) {
+        self.slab.clear();
+        for lane in &mut self.lanes {
+            lane.cycles = 0;
+            lane.entries.clear();
+        }
+    }
+}
+
+impl<V: Clone> TraceArena<V> {
+    /// Materialises every channel into a standalone [`ChannelTrace`]
+    /// (compatibility with the pre-arena API; allocates one `Vec` per
+    /// channel).
+    pub fn to_channel_traces(&self) -> Vec<ChannelTrace<V>> {
+        self.iter().map(|ch| ch.to_channel_trace()).collect()
+    }
+}
+
+/// A borrowed view of one channel's realisation inside a [`TraceArena`],
+/// exposing the same read API as [`ChannelTrace`].
+#[derive(Debug)]
+pub struct TraceRef<'a, V> {
+    arena: &'a TraceArena<V>,
+    index: usize,
+}
+
+impl<V> Clone for TraceRef<'_, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<V> Copy for TraceRef<'_, V> {}
+
+impl<'a, V> TraceRef<'a, V> {
+    fn lane(&self) -> &'a Lane {
+        &self.arena.lanes[self.index]
+    }
+
+    /// The channel name this view belongs to.
+    pub fn name(&self) -> &'a str {
+        &self.lane().name
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.lane().cycles as usize
+    }
+
+    /// Returns `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lane().cycles == 0
+    }
+
+    /// Number of informative (valid) tokens recorded.
+    pub fn valid_count(&self) -> usize {
+        self.lane().entries.len()
+    }
+
+    /// The `(cycle, slot)` positions of the channel's valid tokens.
+    pub fn entries(&self) -> &'a [TraceEntry] {
+        &self.lane().entries
+    }
+
+    /// The τ-filtered payload sequence, borrowed straight out of the slab
+    /// (no allocation, unlike [`ChannelTrace::filtered`]).
+    pub fn values(&self) -> impl Iterator<Item = &'a V> {
+        self.values_from(0)
+    }
+
+    /// The τ-filtered payload sequence starting at valid-token index
+    /// `start` (saturating at the end).  O(1) to position — unlike
+    /// `values().skip(start)`, which would re-walk the prefix — so
+    /// incremental consumers (the streaming equivalence driver) stay
+    /// linear over a growing recording.
+    pub fn values_from(&self, start: usize) -> impl Iterator<Item = &'a V> {
+        let arena = self.arena;
+        self.lane()
+            .entries
+            .get(start..)
+            .unwrap_or_default()
+            .iter()
+            .map(move |e| &arena.slab[e.slot])
+    }
+
+    /// Fraction of recorded cycles carrying a valid token (see
+    /// [`ChannelTrace::utilization`]).
+    pub fn utilization(&self) -> f64 {
+        let lane = self.lane();
+        if lane.cycles == 0 {
+            0.0
+        } else {
+            lane.entries.len() as f64 / lane.cycles as f64
+        }
+    }
+}
+
+impl<V: Clone> TraceRef<'_, V> {
+    /// The τ-filtered sequence of payloads, in order of appearance (clones
+    /// each payload; use [`TraceRef::values`] to borrow instead).
+    pub fn filtered(&self) -> Vec<V> {
+        self.values().cloned().collect()
+    }
+
+    /// The τ-filtered sequence with reconstructed tags (see
+    /// [`ChannelTrace::events`]).
+    pub fn events(&self) -> Vec<Event<V>> {
+        self.values()
+            .enumerate()
+            .map(|(k, v)| Event::new(v.clone(), k as u64))
+            .collect()
+    }
+
+    /// Materialises this channel into a standalone [`ChannelTrace`],
+    /// reconstructing the void symbols between the valid tokens.
+    pub fn to_channel_trace(&self) -> ChannelTrace<V> {
+        let lane = self.lane();
+        let mut trace = ChannelTrace::new(lane.name.clone());
+        let mut next = lane.entries.iter().peekable();
+        for cycle in 0..lane.cycles {
+            match next.peek() {
+                Some(e) if e.cycle == cycle => {
+                    trace.record(Token::Valid(self.arena.slab[e.slot].clone()));
+                    next.next();
+                }
+                _ => trace.record(Token::Void),
+            }
+        }
+        trace
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +479,99 @@ mod tests {
         let s = format!("{t}");
         assert!(s.contains('τ'));
         assert!(s.starts_with("ch:"));
+    }
+
+    /// Interleaves recordings on two channels and checks every view accessor
+    /// against the equivalent standalone [`ChannelTrace`].
+    #[test]
+    fn arena_views_match_channel_traces() {
+        let mut arena = TraceArena::new(["a", "b"]);
+        let mut a = ChannelTrace::new("a");
+        let mut b = ChannelTrace::new("b");
+        for (cycle, (ta, tb)) in [
+            (Token::Valid(1u32), Token::Void),
+            (Token::Void, Token::Valid(10)),
+            (Token::Valid(2), Token::Valid(20)),
+            (Token::Void, Token::Void),
+            (Token::Valid(3), Token::Void),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            // Alternate the recording order across cycles: slab slots
+            // interleave but the per-channel index lists keep them apart.
+            if cycle % 2 == 0 {
+                arena.record(0, ta);
+                arena.record(1, tb);
+            } else {
+                arena.record(1, tb);
+                arena.record(0, ta);
+            }
+            a.record(ta);
+            b.record(tb);
+        }
+        assert_eq!(arena.num_channels(), 2);
+        assert_eq!(arena.total_valid(), 5);
+        assert_eq!(arena.channel_names().collect::<Vec<_>>(), vec!["a", "b"]);
+        for (view, trace) in arena.iter().zip([&a, &b]) {
+            assert_eq!(view.name(), trace.name());
+            assert_eq!(view.len(), trace.len());
+            assert_eq!(view.valid_count(), trace.valid_count());
+            assert_eq!(view.filtered(), trace.filtered());
+            assert_eq!(view.events(), trace.events());
+            assert_eq!(view.values().copied().collect::<Vec<_>>(), trace.filtered());
+            assert!((view.utilization() - trace.utilization()).abs() < 1e-12);
+            assert_eq!(&view.to_channel_trace(), trace);
+        }
+    }
+
+    #[test]
+    fn arena_entries_carry_cycle_and_slot() {
+        let mut arena = TraceArena::new(["ch"]);
+        arena.record_void(0);
+        arena.record_valid(0, 7u32);
+        arena.record_void(0);
+        arena.record_valid(0, 8);
+        let entries = arena.channel(0).entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], TraceEntry { cycle: 1, slot: 0 });
+        assert_eq!(entries[1], TraceEntry { cycle: 3, slot: 1 });
+    }
+
+    #[test]
+    fn arena_clear_retains_names_and_capacity() {
+        let mut arena = TraceArena::new(["x"]);
+        arena.reserve_cycles(8);
+        for v in 0..5u32 {
+            arena.record_valid(0, v);
+        }
+        arena.clear();
+        assert!(arena.channel(0).is_empty());
+        assert_eq!(arena.total_valid(), 0);
+        assert_eq!(arena.channel(0).name(), "x");
+        arena.record_valid(0, 9);
+        assert_eq!(arena.channel(0).filtered(), vec![9]);
+    }
+
+    #[test]
+    fn values_from_resumes_mid_stream_and_saturates() {
+        let mut arena = TraceArena::new(["ch"]);
+        for v in [5u32, 6, 7] {
+            arena.record_valid(0, v);
+            arena.record_void(0);
+        }
+        let view = arena.channel(0);
+        assert_eq!(view.values_from(0).copied().collect::<Vec<_>>(), [5, 6, 7]);
+        assert_eq!(view.values_from(2).copied().collect::<Vec<_>>(), [7]);
+        assert_eq!(view.values_from(3).count(), 0);
+        assert_eq!(view.values_from(99).count(), 0, "past-the-end saturates");
+    }
+
+    #[test]
+    fn empty_arena_view_has_zero_utilization() {
+        let arena: TraceArena<u32> = TraceArena::new(["e"]);
+        let view = arena.channel(0);
+        assert_eq!(view.utilization(), 0.0);
+        assert!(view.to_channel_trace().is_empty());
     }
 }

@@ -209,6 +209,11 @@ pub enum SocError {
     MemoryUnavailable,
     /// The final data memory did not match the workload's expected result.
     WrongResult,
+    /// The wire-pipelined run's τ-filtered channel realisations diverged
+    /// from (or could not be paired with) the golden run's — the
+    /// per-scenario equivalence gate failed.  Carries the rendered
+    /// [`wp_core::EquivalenceReport`].
+    NotEquivalent(String),
 }
 
 impl fmt::Display for SocError {
@@ -217,6 +222,9 @@ impl fmt::Display for SocError {
             SocError::Sim(e) => write!(f, "simulation failed: {e}"),
             SocError::MemoryUnavailable => write!(f, "data memory contents unavailable"),
             SocError::WrongResult => write!(f, "final memory does not match the expected result"),
+            SocError::NotEquivalent(report) => {
+                write!(f, "equivalence gate failed: {report}")
+            }
         }
     }
 }
@@ -417,7 +425,7 @@ pub fn run_golden_soc(
         cycles,
         memory,
         instructions: instructions_from_process(sim.process(CU)),
-        traces: sim.traces().to_vec(),
+        traces: sim.traces(),
     })
 }
 
@@ -450,7 +458,7 @@ pub fn run_wp_soc(
         cycles,
         memory,
         instructions: instructions_from_process(sim.process(CU)),
-        traces: sim.traces().to_vec(),
+        traces: sim.traces(),
     })
 }
 

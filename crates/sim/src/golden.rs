@@ -23,7 +23,7 @@
 //! The seed implementation survives as [`crate::NaiveGoldenSimulator`]; the
 //! `golden_equivalence` property tests assert cycle-identical behaviour.
 
-use wp_core::{ChannelTrace, Process, Token};
+use wp_core::{ChannelTrace, Process, TraceArena};
 
 use crate::arena::PortArena;
 use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
@@ -32,7 +32,9 @@ use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
 pub struct GoldenSimulator<V> {
     processes: Vec<Box<dyn Process<V>>>,
     channels: Vec<ChannelSpec>,
-    traces: Vec<ChannelTrace<V>>,
+    /// Arena-backed channel recordings: one shared payload slab plus
+    /// per-channel `(cycle, slot)` index lists (see [`TraceArena`]).
+    traces: TraceArena<V>,
     /// Persistent per-cycle delivered values (see the module docs):
     /// allocated once in [`GoldenSimulator::new`], reused by every
     /// [`GoldenSimulator::step`].
@@ -61,10 +63,7 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
     pub fn new(builder: SystemBuilder<V>) -> Result<Self, SimError> {
         builder.validate()?;
         let (processes, channels) = builder.into_parts();
-        let traces = channels
-            .iter()
-            .map(|c| ChannelTrace::new(c.name.clone()))
-            .collect();
+        let traces = TraceArena::new(channels.iter().map(|c| c.name.clone()));
         let arena = PortArena::new(processes.iter().map(|p| p.num_inputs()), || None);
         Ok(Self {
             processes,
@@ -86,9 +85,28 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
         self.cycles
     }
 
-    /// The recorded channel traces (one per channel, in channel order).
-    pub fn traces(&self) -> &[ChannelTrace<V>] {
+    /// The recorded channel traces (one per channel, in channel order),
+    /// materialised out of the trace arena into standalone
+    /// [`ChannelTrace`]s; use [`GoldenSimulator::trace_arena`] to read the
+    /// recordings without copying.
+    pub fn traces(&self) -> Vec<ChannelTrace<V>> {
+        self.traces.to_channel_traces()
+    }
+
+    /// Borrowed access to the arena-backed channel recordings.
+    pub fn trace_arena(&self) -> &TraceArena<V> {
         &self.traces
+    }
+
+    /// Reserves trace capacity for `cycles` more simulated cycles, so the
+    /// recording itself performs no heap allocation over that window.
+    pub fn reserve_traces(&mut self, cycles: usize) {
+        self.traces.reserve_cycles(cycles);
+    }
+
+    /// Clears the recorded traces (names and capacity retained).
+    pub fn clear_traces(&mut self) {
+        self.traces.clear();
     }
 
     /// Immutable access to a process (e.g. to read architectural state after
@@ -109,12 +127,12 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
     /// Simulates one clock cycle: every channel transports the value its
     /// producer currently presents and every process fires.
     ///
-    /// Performs no heap allocation in steady state when channel-trace
-    /// recording is disabled ([`GoldenSimulator::set_trace_enabled`]): the
-    /// delivered values live in the persistent [`PortArena`] and every
-    /// process fires on a borrowed slice of it (see the module docs).  With
-    /// traces enabled — the default — each transported value is additionally
-    /// cloned into its channel's trace vector.
+    /// Performs no heap allocation in steady state: the delivered values
+    /// live in the persistent [`PortArena`] and every process fires on a
+    /// borrowed slice of it (see the module docs).  With traces enabled —
+    /// the default — each transported value is additionally cloned into the
+    /// [`TraceArena`], which itself records allocation-free once capacity
+    /// is reserved ([`GoldenSimulator::reserve_traces`]).
     pub fn step(&mut self) {
         let Self {
             processes,
@@ -133,7 +151,7 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
         for (idx, c) in channels.iter().enumerate() {
             let value = processes[c.src].output(c.src_port);
             if *trace_enabled {
-                traces[idx].record(Token::Valid(value.clone()));
+                traces.record_valid(idx, value.clone());
             }
             arena.set(c.dst, c.dst_port, Some(value));
         }

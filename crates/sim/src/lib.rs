@@ -13,14 +13,21 @@
 //!
 //! Throughput is measured as firings per cycle of a designated process, and
 //! functional correctness is established by comparing the τ-filtered channel
-//! traces of the two simulators with [`wp_core::check_equivalence`].
+//! traces of the two simulators — after the fact with
+//! [`wp_core::check_equivalence`], or while the candidate runs with
+//! [`wp_core::StreamingEquivalence`].  Both simulators record into an
+//! arena-backed trace store ([`wp_core::TraceArena`]) that stays
+//! allocation-free in steady state once capacity is reserved.
 //!
 //! Two more pieces support experiments at scale:
 //!
 //! * [`SweepRunner`] runs many independent `(ShellConfig × relay-station
 //!   assignment × program)` scenarios across `std::thread` workers with a
 //!   work-stealing, batching scheduler and collects one [`LidReport`] per
-//!   scenario, always in submission order;
+//!   scenario, always in submission order; a scenario armed with
+//!   [`Scenario::with_equivalence_check`] is additionally streamed against
+//!   a demand-stepped golden twin while it runs, and its proven
+//!   equivalence prefix lands in [`SweepOutcome::equivalence`];
 //! * [`NaiveSimulator`] and [`NaiveGoldenSimulator`] preserve the seed
 //!   (allocation-heavy) simulator steps as the references the
 //!   allocation-free [`LidSimulator`] and [`GoldenSimulator`] kernels are

@@ -27,7 +27,7 @@
 //! kernel-equivalence property tests assert cycle-identical behaviour and
 //! the criterion benches measure the speedup against it.
 
-use wp_core::{ChannelTrace, Process, RelayChain, Shell, ShellConfig, ShellStats, Token};
+use wp_core::{ChannelTrace, Process, RelayChain, Shell, ShellConfig, ShellStats, TraceArena};
 
 use crate::arena::WireArena;
 use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
@@ -64,7 +64,9 @@ pub struct LidSimulator<V> {
     shells: Vec<Shell<V>>,
     channels: Vec<ChannelSpec>,
     chains: Vec<RelayChain<V>>,
-    traces: Vec<ChannelTrace<V>>,
+    /// Arena-backed channel recordings: one shared payload slab plus
+    /// per-channel `(cycle, slot)` index lists (see [`TraceArena`]).
+    traces: TraceArena<V>,
     /// Persistent per-cycle wire state (see the module docs): allocated once
     /// in [`LidSimulator::new`], reused by every [`LidSimulator::step`].
     arena: WireArena<V>,
@@ -107,10 +109,7 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
             .iter()
             .map(|c| RelayChain::new(c.relay_stations))
             .collect();
-        let traces = channels
-            .iter()
-            .map(|c| ChannelTrace::new(c.name.clone()))
-            .collect();
+        let traces = TraceArena::new(channels.iter().map(|c| c.name.clone()));
         let arena = WireArena::new(shells.iter().map(|s| (s.num_inputs(), s.num_outputs())));
         Ok(Self {
             shells,
@@ -152,13 +151,36 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
         self.total_firings
     }
 
-    /// The recorded channel traces (one per channel, in channel order).
+    /// The recorded channel traces (one per channel, in channel order),
+    /// materialised out of the trace arena into standalone
+    /// [`ChannelTrace`]s for compatibility with the pre-arena API; use
+    /// [`LidSimulator::trace_arena`] to read the recordings without
+    /// copying.
     ///
     /// A channel records a valid token in the cycle in which the consumer
     /// side actually accepts it, so the τ-filtered sequence is directly
     /// comparable with the golden trace of the same channel.
-    pub fn traces(&self) -> &[ChannelTrace<V>] {
+    pub fn traces(&self) -> Vec<ChannelTrace<V>> {
+        self.traces.to_channel_traces()
+    }
+
+    /// Borrowed access to the arena-backed channel recordings.
+    pub fn trace_arena(&self) -> &TraceArena<V> {
         &self.traces
+    }
+
+    /// Reserves trace capacity for `cycles` more simulated cycles, so the
+    /// recording itself performs no heap allocation over that window (the
+    /// counting-allocator test `steady_state_alloc_free` pins this).
+    pub fn reserve_traces(&mut self, cycles: usize) {
+        self.traces.reserve_cycles(cycles);
+    }
+
+    /// Clears the recorded traces (names and capacity retained).  The
+    /// streaming equivalence path drains and clears the arena chunk by
+    /// chunk to keep memory bounded.
+    pub fn clear_traces(&mut self) {
+        self.traces.clear();
     }
 
     /// Immutable access to the shell of a process (statistics, stall cause).
@@ -183,12 +205,12 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
 
     /// Simulates one clock cycle.
     ///
-    /// Performs no heap allocation in steady state when channel-trace
-    /// recording is disabled ([`LidSimulator::set_trace_enabled`]): the wire
-    /// samples live in the persistent [`WireArena`] and all component
-    /// updates operate on borrowed slices and slots of it (see the module
-    /// docs).  With traces enabled — the default — each accepted token is
-    /// additionally cloned into its channel's trace vector.
+    /// Performs no heap allocation in steady state: the wire samples live
+    /// in the persistent [`WireArena`] and all component updates operate on
+    /// borrowed slices and slots of it (see the module docs).  With traces
+    /// enabled — the default — each accepted token is additionally cloned
+    /// into the [`TraceArena`], which itself records allocation-free once
+    /// capacity is reserved ([`LidSimulator::reserve_traces`]).
     ///
     /// # Errors
     ///
@@ -220,12 +242,10 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
             let upstream_stop = chains[idx].stop_out(cons_stop);
 
             if *trace_enabled {
-                let accepted = delivered.is_valid() && !cons_stop;
-                traces[idx].record(if accepted {
-                    delivered.clone()
-                } else {
-                    Token::Void
-                });
+                match delivered.as_valid() {
+                    Some(v) if !cons_stop => traces.record_valid(idx, v.clone()),
+                    _ => traces.record_void(idx),
+                }
             }
 
             arena.set_input(ch.dst, ch.dst_port, delivered.clone());

@@ -25,7 +25,7 @@
 //!
 //! [`GoldenSimulator`]: crate::GoldenSimulator
 
-use wp_core::{ChannelTrace, Process, RelayChain, Shell, ShellConfig, Token};
+use wp_core::{ChannelTrace, Process, RelayChain, Shell, ShellConfig, Token, TraceArena};
 
 use crate::lid::LidReport;
 use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
@@ -313,7 +313,11 @@ impl<V: Clone + PartialEq> NaiveSimulator<V> {
 pub struct NaiveGoldenSimulator<V> {
     processes: Vec<Box<dyn Process<V>>>,
     channels: Vec<ChannelSpec>,
-    traces: Vec<ChannelTrace<V>>,
+    /// Even the naive golden step records into a [`TraceArena`]: the seed
+    /// behaviour being preserved here is the *step* scratch allocation, not
+    /// the recording format, and sharing the recorder keeps the
+    /// golden-equivalence property tests comparing identical structures.
+    traces: TraceArena<V>,
     trace_enabled: bool,
     cycles: u64,
 }
@@ -340,10 +344,7 @@ impl<V: Clone + PartialEq> NaiveGoldenSimulator<V> {
     pub fn new(builder: SystemBuilder<V>) -> Result<Self, SimError> {
         builder.validate()?;
         let (processes, channels) = builder.into_parts();
-        let traces = channels
-            .iter()
-            .map(|c| ChannelTrace::new(c.name.clone()))
-            .collect();
+        let traces = TraceArena::new(channels.iter().map(|c| c.name.clone()));
         Ok(Self {
             processes,
             channels,
@@ -363,8 +364,16 @@ impl<V: Clone + PartialEq> NaiveGoldenSimulator<V> {
         self.cycles
     }
 
-    /// The recorded channel traces (one per channel, in channel order).
-    pub fn traces(&self) -> &[ChannelTrace<V>] {
+    /// The recorded channel traces (one per channel, in channel order),
+    /// materialised like [`GoldenSimulator::traces`].
+    ///
+    /// [`GoldenSimulator::traces`]: crate::GoldenSimulator::traces
+    pub fn traces(&self) -> Vec<ChannelTrace<V>> {
+        self.traces.to_channel_traces()
+    }
+
+    /// Borrowed access to the arena-backed channel recordings.
+    pub fn trace_arena(&self) -> &TraceArena<V> {
         &self.traces
     }
 
@@ -392,8 +401,8 @@ impl<V: Clone + PartialEq> NaiveGoldenSimulator<V> {
             .map(|c| self.processes[c.src].output(c.src_port))
             .collect();
         if self.trace_enabled {
-            for (trace, v) in self.traces.iter_mut().zip(values.iter()) {
-                trace.record(Token::Valid(v.clone()));
+            for (idx, v) in values.iter().enumerate() {
+                self.traces.record_valid(idx, v.clone());
             }
         }
         // Phase 2: deliver and fire.

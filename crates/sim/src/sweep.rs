@@ -22,7 +22,8 @@
 //!   queued work behind it;
 //! * a worker whose deque is empty **steals** a batch of up to
 //!   [`SweepRunner::with_batch`] indices (at most half of the victim's
-//!   remainder) from the *back* of a victim's deque into its own, scanning
+//!   remainder, rounded down — except that a lone remaining index may be
+//!   stolen whole) from the *back* of a victim's deque into its own, scanning
 //!   the other workers round-robin — transferring many small scenarios per
 //!   steal amortises the only contended synchronisation in the scheduler;
 //! * every index is leased for execution exactly once, and a worker only
@@ -70,8 +71,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use wp_core::ShellConfig;
+use wp_core::{EquivalenceReport, ShellConfig, StreamingEquivalence, TraceArena};
 
+use crate::golden::GoldenSimulator;
 use crate::lid::{LidReport, LidSimulator};
 use crate::spec::{ProcessId, SimError, SystemBuilder};
 
@@ -117,6 +119,8 @@ pub struct Scenario<V, T = ()> {
     drain: Option<(u64, u64)>,
     post: Option<PostFn<V, T>>,
     trace_enabled: bool,
+    /// Golden-twin factory installed by [`Scenario::with_equivalence_check`].
+    golden: Option<BuildFn<V>>,
 }
 
 impl<V, T> fmt::Debug for Scenario<V, T> {
@@ -127,6 +131,7 @@ impl<V, T> fmt::Debug for Scenario<V, T> {
             .field("goal", &self.goal)
             .field("drain", &self.drain)
             .field("trace_enabled", &self.trace_enabled)
+            .field("equivalence_check", &self.golden.is_some())
             .finish()
     }
 }
@@ -153,6 +158,7 @@ impl<V> Scenario<V> {
             drain: None,
             post: None,
             trace_enabled: false,
+            golden: None,
         }
     }
 }
@@ -179,6 +185,30 @@ impl<V, T> Scenario<V, T> {
         self
     }
 
+    /// Verifies this scenario against its golden twin while it runs: the
+    /// wire-pipelined simulator's recorded tokens are streamed into a
+    /// [`StreamingEquivalence`] checker chunk by chunk, and a
+    /// [`GoldenSimulator`] built from `golden` is stepped lazily — only far
+    /// enough to match the candidate tokens already produced — so the
+    /// comparison retains no realisation and its extra memory is bounded by
+    /// the lag between the two systems, not by the run length.
+    ///
+    /// The per-scenario [`EquivalenceReport`] (including the proven `N`)
+    /// lands in [`SweepOutcome::equivalence`].  A golden twin realising
+    /// different channels makes the report non-equivalent
+    /// ([`wp_core::ChannelVerdict::Unpaired`]).  Unless
+    /// [`Scenario::with_traces`] was also requested, the scenario's trace
+    /// arena is cleared after each chunk, so enabling the check does not
+    /// change how much trace memory the sweep holds.
+    #[must_use]
+    pub fn with_equivalence_check(
+        mut self,
+        golden: impl Fn() -> SystemBuilder<V> + Send + Sync + 'static,
+    ) -> Self {
+        self.golden = Some(Box::new(golden));
+        self
+    }
+
     /// Extracts a caller-defined value from the finished simulator (e.g.
     /// architectural state via process downcasts); it is returned in
     /// [`SweepOutcome::post`].
@@ -195,6 +225,7 @@ impl<V, T> Scenario<V, T> {
             drain: self.drain,
             post: Some(Box::new(post)),
             trace_enabled: self.trace_enabled,
+            golden: self.golden,
         }
     }
 }
@@ -211,6 +242,9 @@ pub struct SweepOutcome<T = ()> {
     pub report: LidReport,
     /// The value produced by [`Scenario::with_post`], if one was installed.
     pub post: Option<T>,
+    /// The golden-vs-pipelined equivalence report (proven `N` included)
+    /// produced by [`Scenario::with_equivalence_check`], if it was enabled.
+    pub equivalence: Option<EquivalenceReport>,
 }
 
 /// A scenario that failed to build or simulate.
@@ -277,8 +311,12 @@ impl SweepRunner {
         Self { workers, batch: 0 }
     }
 
-    /// Sets how many scenarios an idle worker transfers per steal (it never
-    /// takes more than half of the victim's remaining deque).
+    /// Sets how many scenarios an idle worker transfers per steal.  A steal
+    /// never takes more than **half of the victim's remaining deque,
+    /// rounded down**, with one exception: a lone remaining index may be
+    /// stolen whole (otherwise a one-index deque could never be stolen
+    /// from and its short scenario would be stuck behind the victim's
+    /// long-running lease).
     ///
     /// Stolen indices land in the thief's own deque — still visible to
     /// other thieves — so a larger batch only amortises the contended
@@ -385,9 +423,9 @@ impl SweepRunner {
                                 {
                                     let mut q =
                                         queues[victim].lock().expect("sweep queue poisoned");
-                                    let take = q.len().div_ceil(2).min(batch);
+                                    let take = steal_take(q.len(), batch);
                                     for _ in 0..take {
-                                        let i = q.pop_back().expect("len checked above");
+                                        let i = q.pop_back().expect("take is at most len");
                                         chunk.push(i);
                                     }
                                 }
@@ -434,6 +472,146 @@ impl SweepRunner {
     }
 }
 
+/// How many indices a thief may transfer from a victim's deque holding
+/// `len` remaining indices: at most **half of the victim's remainder,
+/// rounded down** — except that a lone remaining index may be stolen whole
+/// (`len == 1` yields 1, otherwise a one-index deque could never be stolen
+/// from) — and never more than the configured `batch`.
+fn steal_take(len: usize, batch: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        (len / 2).max(1).min(batch)
+    }
+}
+
+/// How many cycles the equivalence-checked path simulates between trace
+/// drains.  Small enough to bound the retained trace memory, large enough
+/// to amortise the per-chunk bookkeeping.
+const EQUIVALENCE_CHUNK: u64 = 256;
+
+/// Runs `sim` towards `goal` for at most `chunk` more cycles.  Returns
+/// `Ok(true)` once the goal is reached; a [`SimError::MaxCyclesExceeded`]
+/// produced by the *chunk boundary* (not the goal's own budget) is mapped
+/// to `Ok(false)`, so deadlock detection and the real cycle budget behave
+/// exactly as in the un-chunked path.
+fn run_goal_chunk<V: Clone + PartialEq>(
+    sim: &mut LidSimulator<V>,
+    goal: RunGoal,
+    chunk: u64,
+) -> Result<bool, SimError> {
+    let chunked =
+        |max_cycles: u64, sim: &LidSimulator<V>| max_cycles.min(sim.cycles().saturating_add(chunk));
+    match goal {
+        RunGoal::UntilHalt {
+            process,
+            max_cycles,
+        } => {
+            let budget = chunked(max_cycles, sim);
+            match sim.run_until_halt(process, budget) {
+                Ok(_) => Ok(true),
+                Err(SimError::MaxCyclesExceeded { .. }) if budget < max_cycles => Ok(false),
+                Err(e) => Err(e),
+            }
+        }
+        RunGoal::UntilFirings {
+            process,
+            target,
+            max_cycles,
+        } => {
+            let budget = chunked(max_cycles, sim);
+            match sim.run_until_firings(process, target, budget) {
+                Ok(_) => Ok(true),
+                Err(SimError::MaxCyclesExceeded { .. }) if budget < max_cycles => Ok(false),
+                Err(e) => Err(e),
+            }
+        }
+        RunGoal::ForCycles(cycles) => {
+            let remaining = cycles.saturating_sub(sim.cycles());
+            sim.run_for(remaining.min(chunk))?;
+            Ok(sim.cycles() >= cycles)
+        }
+    }
+}
+
+/// Drives the streaming golden-vs-pipelined comparison of one scenario.
+struct EquivalenceDriver<V> {
+    golden: GoldenSimulator<V>,
+    checker: StreamingEquivalence<V>,
+    /// Per-channel count of candidate trace entries already streamed into
+    /// the checker (reset whenever the candidate arena is cleared).
+    consumed: Vec<usize>,
+    /// Same cursor for the golden arena (always cleared after feeding).
+    golden_consumed: Vec<usize>,
+}
+
+impl<V: Clone + PartialEq> EquivalenceDriver<V> {
+    fn new(candidate: &LidSimulator<V>, golden: GoldenSimulator<V>) -> Self {
+        let checker = StreamingEquivalence::pair(
+            golden.trace_arena().channel_names(),
+            candidate.trace_arena().channel_names(),
+        );
+        let consumed = vec![0; candidate.trace_arena().num_channels()];
+        let golden_consumed = vec![0; golden.trace_arena().num_channels()];
+        Self {
+            golden,
+            checker,
+            consumed,
+            golden_consumed,
+        }
+    }
+
+    /// Streams the candidate tokens recorded since the last call into the
+    /// checker, then steps the golden twin just far enough to catch up.
+    /// When `clear_candidate` is set the candidate arena is emptied
+    /// afterwards (bounded memory); otherwise a cursor remembers how far
+    /// the stream was consumed.
+    fn sync(&mut self, sim: &mut LidSimulator<V>, clear_candidate: bool) {
+        feed_new_tokens(sim.trace_arena(), &mut self.consumed, |ch, v| {
+            self.checker.push_candidate(ch, v);
+        });
+        if clear_candidate {
+            sim.clear_traces();
+            self.consumed.fill(0);
+        }
+        // The golden system records one valid token per channel per cycle,
+        // so every step shrinks the maximum candidate lead by one: this
+        // demand-driven loop terminates after exactly `candidate_lead`
+        // steps and never runs the golden twin ahead of what the candidate
+        // already produced.
+        while self.checker.candidate_lead() > 0 {
+            self.golden.step();
+            feed_new_tokens(
+                self.golden.trace_arena(),
+                &mut self.golden_consumed,
+                |ch, v| {
+                    self.checker.push_reference(ch, v);
+                },
+            );
+            self.golden.clear_traces();
+            self.golden_consumed.fill(0);
+        }
+    }
+}
+
+/// Streams every valid token recorded after the per-channel `consumed`
+/// cursors into `push`, advancing the cursors.  `values_from` positions in
+/// O(1), so repeated syncs over a growing (uncleared) arena stay linear in
+/// the trace length.
+fn feed_new_tokens<V: Clone>(
+    arena: &TraceArena<V>,
+    consumed: &mut [usize],
+    mut push: impl FnMut(usize, V),
+) {
+    for (ch, cursor) in consumed.iter_mut().enumerate() {
+        let view = arena.channel(ch);
+        for value in view.values_from(*cursor) {
+            push(ch, value.clone());
+        }
+        *cursor = view.valid_count();
+    }
+}
+
 /// Builds, runs and summarises one scenario (always inside a worker thread).
 fn execute<V, T>(scenario: &Scenario<V, T>) -> Result<SweepOutcome<T>, SweepError>
 where
@@ -445,25 +623,56 @@ where
     };
     let mut sim = LidSimulator::new((scenario.build)(), scenario.config).map_err(fail)?;
     sim.set_trace_enabled(scenario.trace_enabled);
-    let cycles_to_goal = match scenario.goal {
-        RunGoal::UntilHalt {
-            process,
-            max_cycles,
-        } => sim.run_until_halt(process, max_cycles).map_err(fail)?,
-        RunGoal::UntilFirings {
-            process,
-            target,
-            max_cycles,
-        } => sim
-            .run_until_firings(process, target, max_cycles)
-            .map_err(fail)?,
-        RunGoal::ForCycles(cycles) => {
-            sim.run_for(cycles).map_err(fail)?;
+
+    let mut driver = match &scenario.golden {
+        Some(golden_build) => {
+            // The comparison needs the candidate realisations: force
+            // recording on (the arena is drained chunk by chunk, so this
+            // does not retain the full trace unless `with_traces` asked
+            // for it) and reserve one chunk of capacity up front.
+            sim.set_trace_enabled(true);
+            sim.reserve_traces(EQUIVALENCE_CHUNK as usize);
+            let golden = GoldenSimulator::new(golden_build()).map_err(fail)?;
+            Some(EquivalenceDriver::new(&sim, golden))
+        }
+        None => None,
+    };
+
+    let cycles_to_goal = match &mut driver {
+        None => match scenario.goal {
+            RunGoal::UntilHalt {
+                process,
+                max_cycles,
+            } => sim.run_until_halt(process, max_cycles).map_err(fail)?,
+            RunGoal::UntilFirings {
+                process,
+                target,
+                max_cycles,
+            } => sim
+                .run_until_firings(process, target, max_cycles)
+                .map_err(fail)?,
+            RunGoal::ForCycles(cycles) => {
+                sim.run_for(cycles).map_err(fail)?;
+                sim.cycles()
+            }
+        },
+        Some(driver) => {
+            loop {
+                let done =
+                    run_goal_chunk(&mut sim, scenario.goal, EQUIVALENCE_CHUNK).map_err(fail)?;
+                driver.sync(&mut sim, !scenario.trace_enabled);
+                if done {
+                    break;
+                }
+            }
             sim.cycles()
         }
     };
     if let Some((idle_cycles, max_extra)) = scenario.drain {
         sim.drain(idle_cycles, max_extra).map_err(fail)?;
+        if let Some(driver) = &mut driver {
+            driver.sync(&mut sim, !scenario.trace_enabled);
+        }
     }
     let post = scenario.post.as_ref().map(|f| f(&sim));
     Ok(SweepOutcome {
@@ -471,6 +680,7 @@ where
         cycles_to_goal,
         report: sim.report(),
         post,
+        equivalence: driver.map(|d| d.checker.report()),
     })
 }
 
@@ -644,5 +854,167 @@ mod tests {
         let outcome = SweepRunner::new(1).run(scenarios).remove(0).expect("runs");
         assert_eq!(outcome.post, Some(25));
         assert_eq!(outcome.report.cycles, 25);
+    }
+
+    /// Pins the steal-size contract: at most half of the victim's
+    /// remainder, rounded down; a lone remaining index may be stolen whole;
+    /// never more than the batch.
+    #[test]
+    fn steal_take_takes_at_most_half_but_can_take_a_lone_index() {
+        assert_eq!(steal_take(0, 8), 0, "nothing to steal from an empty deque");
+        assert_eq!(steal_take(1, 8), 1, "a lone index is stolen whole");
+        assert_eq!(steal_take(2, 8), 1);
+        assert_eq!(steal_take(3, 8), 1, "half of 3 rounds down");
+        assert_eq!(steal_take(4, 8), 2);
+        assert_eq!(steal_take(9, 8), 4);
+        assert_eq!(steal_take(100, 8), 8, "the batch caps the transfer");
+        assert_eq!(steal_take(1, 1), 1);
+        for len in 2..50 {
+            assert!(
+                steal_take(len, usize::MAX) <= len / 2,
+                "len {len}: stole more than half the remainder"
+            );
+        }
+    }
+
+    /// Ring scenarios verified against their golden twins: every scenario
+    /// must come back equivalent with a positive proven N, and — exactly
+    /// like the unverified sweep — the results must not depend on the
+    /// worker count or the batch size.
+    #[test]
+    fn equivalence_check_reports_proven_n_independent_of_scheduling() {
+        let verified_scenarios = || -> Vec<Scenario<u64>> {
+            let mut scenarios = Vec::new();
+            for stages in 2..=4usize {
+                for rs in 0..=2usize {
+                    scenarios.push(
+                        Scenario::new(
+                            format!("ring_m{stages}_n{rs}"),
+                            ShellConfig::strict(),
+                            RunGoal::UntilFirings {
+                                process: 0,
+                                target: 300, // > EQUIVALENCE_CHUNK cycles of work
+                                max_cycles: 50_000,
+                            },
+                            move || ring(stages, rs),
+                        )
+                        .with_equivalence_check(move || ring(stages, rs)),
+                    );
+                }
+            }
+            scenarios
+        };
+        let reference: Vec<SweepOutcome> = verified_scenarios()
+            .iter()
+            .map(|s| execute(s).expect("ring scenario completes"))
+            .collect();
+        for outcome in &reference {
+            let report = outcome
+                .equivalence
+                .as_ref()
+                .expect("equivalence check was enabled");
+            assert!(report.is_equivalent(), "{}: {report}", outcome.label);
+            assert!(
+                report.proven_n() >= 250,
+                "{}: proven N {} too small for 300 firings",
+                outcome.label,
+                report.proven_n()
+            );
+        }
+        for (workers, batch) in [(1, 0), (4, 1), (8, 3)] {
+            let mut runner = SweepRunner::new(workers);
+            if batch > 0 {
+                runner = runner.with_batch(batch);
+            }
+            let outcomes: Vec<SweepOutcome> = runner
+                .run(verified_scenarios())
+                .into_iter()
+                .map(|o| o.expect("ring scenario completes"))
+                .collect();
+            assert_eq!(outcomes, reference, "workers = {workers}, batch = {batch}");
+        }
+    }
+
+    /// A golden twin computing different values must be flagged with a
+    /// `Mismatch` at the first diverging position.
+    #[test]
+    fn equivalence_check_detects_a_diverging_golden_twin() {
+        use crate::testutil::Terminator;
+        use wp_core::{ChannelVerdict, SequenceSource};
+
+        let pipeline = |vals: &'static [u64]| {
+            move || {
+                let mut b = SystemBuilder::new();
+                let src = b.add_process(Box::new(SequenceSource::new("src", vals.to_vec(), 0u64)));
+                let term = b.add_process(Box::new(Terminator::new("term")));
+                b.connect("c", src, 0, term, 0, 0);
+                b
+            }
+        };
+        let scenarios = vec![Scenario::<u64>::new(
+            "diverges",
+            ShellConfig::strict(),
+            RunGoal::ForCycles(12),
+            pipeline(&[1, 2, 9, 4]),
+        )
+        // The twin's source emits 3 where the candidate's emits 9.
+        .with_equivalence_check(pipeline(&[1, 2, 3, 4]))];
+        let outcome = SweepRunner::new(2).run(scenarios).remove(0).expect("runs");
+        let report = outcome.equivalence.expect("check enabled");
+        assert!(!report.is_equivalent(), "{report}");
+        assert_eq!(report.proven_n(), 0);
+        match &report.entries()[0].1 {
+            ChannelVerdict::Mismatch { position } => {
+                assert!(*position >= 1, "a matching prefix precedes the divergence")
+            }
+            other => panic!("expected a value mismatch, got {other:?}"),
+        }
+    }
+
+    /// A golden twin realising a different channel set cannot be compared:
+    /// the extra channels are reported `Unpaired`, not silently dropped.
+    #[test]
+    fn equivalence_check_flags_channel_count_mismatch_as_unpaired() {
+        use wp_core::ChannelVerdict;
+        let scenarios = vec![Scenario::<u64>::new(
+            "unpaired",
+            ShellConfig::strict(),
+            RunGoal::ForCycles(20),
+            || ring(2, 0),
+        )
+        .with_equivalence_check(|| ring(3, 0))];
+        let outcome = SweepRunner::new(1).run(scenarios).remove(0).expect("runs");
+        let report = outcome.equivalence.expect("check enabled");
+        assert!(!report.is_equivalent());
+        assert!(
+            report
+                .entries()
+                .iter()
+                .any(|(_, v)| *v == ChannelVerdict::Unpaired),
+            "{report}"
+        );
+    }
+
+    /// `with_traces` + `with_equivalence_check`: the caller's traces must
+    /// survive the streaming comparison (no chunk clearing).
+    #[test]
+    fn equivalence_check_preserves_requested_traces() {
+        let cycles = 3 * EQUIVALENCE_CHUNK; // force several chunks
+        let scenarios = vec![Scenario::<u64>::new(
+            "traced",
+            ShellConfig::strict(),
+            RunGoal::ForCycles(cycles),
+            || ring(2, 0),
+        )
+        .with_traces()
+        .with_equivalence_check(|| ring(2, 0))
+        .with_post(move |sim| {
+            let traces = sim.traces();
+            traces.len() == 2 && traces.iter().all(|t| t.len() == cycles as usize)
+        })];
+        let outcome = SweepRunner::new(1).run(scenarios).remove(0).expect("runs");
+        assert_eq!(outcome.post, Some(true), "traces were clipped or cleared");
+        let report = outcome.equivalence.expect("check enabled");
+        assert!(report.is_equivalent(), "{report}");
     }
 }

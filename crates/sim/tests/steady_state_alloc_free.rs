@@ -1,7 +1,9 @@
 //! Proves the allocation-free steady-state claim of both kernels with a
 //! counting global allocator: once constructed (and past the first cycle),
-//! `GoldenSimulator::step` and `LidSimulator::step` with traces disabled
-//! must not touch the heap at all.
+//! `GoldenSimulator::step` and `LidSimulator::step` must not touch the heap
+//! at all — with traces disabled, *and* with traces enabled on the
+//! arena-backed recorder (`wp_core::TraceArena`) once capacity for the
+//! window has been reserved (`reserve_traces`).
 //!
 //! This file deliberately contains a single `#[test]` so no concurrent test
 //! thread can allocate while the steady-state windows are measured.
@@ -107,5 +109,42 @@ fn steady_state_steps_do_not_allocate_with_traces_disabled() {
         allocations(),
         before,
         "LidSimulator::step allocated in steady state"
+    );
+
+    // Traced golden run on the arena-backed recorder: with capacity
+    // reserved for the window, recording one valid token per channel per
+    // cycle must not touch the heap either.
+    let mut golden = GoldenSimulator::new(ring(4, 0)).expect("ring builds");
+    golden.run_for(16);
+    golden.reserve_traces(1_000);
+    let before = allocations();
+    golden.run_for(1_000);
+    assert_eq!(
+        allocations(),
+        before,
+        "traced GoldenSimulator::step allocated in steady state"
+    );
+    assert_eq!(golden.trace_arena().total_valid(), 1_016 * 4);
+    assert_eq!(golden.trace_arena().channel(0).len(), 1_016);
+
+    // Traced wire-pipelined run: tokens are accepted (and recorded) at the
+    // consumer's pace, voids cost only a counter bump, and the reserved
+    // capacity covers the worst case of one valid token per channel per
+    // cycle.
+    let mut lid = LidSimulator::new(ring(4, 2), ShellConfig::strict()).expect("ring builds");
+    lid.run_for(16).expect("warm-up runs");
+    lid.reserve_traces(1_000);
+    let before = allocations();
+    lid.run_for(1_000).expect("steady state runs");
+    assert_eq!(
+        allocations(),
+        before,
+        "traced LidSimulator::step allocated in steady state"
+    );
+    let arena = lid.trace_arena();
+    assert_eq!(arena.channel(0).len(), 1_016);
+    assert!(
+        arena.total_valid() > 0,
+        "the traced window recorded no tokens at all"
     );
 }

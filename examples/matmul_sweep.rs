@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let runner = SweepArgs::from_env().runner();
+    let runner = SweepArgs::from_env().unwrap_or_else(|e| e.exit()).runner();
     eprintln!(
         "sweeping {} scenarios across {} worker thread(s)",
         scenarios.len(),
