@@ -1,4 +1,4 @@
-//! Sweep-scheduler flags shared by every experiment binary.
+//! Sweep-scheduler and sharding flags shared by every experiment binary.
 //!
 //! All experiment binaries (and the `matmul_sweep` example) drive their
 //! wire-pipelined runs through `wp_sim::SweepRunner`; this module gives them
@@ -11,12 +11,27 @@
 //!   time).  Workers always lease one scenario per deque lock, so queued
 //!   work stays stealable regardless of the batch size.
 //!
+//! The sharding binaries (`table1`, `figure1`, `ablation_fifo`,
+//! `ablation_oracle`) additionally accept the process-sharding triple
+//! ([`ShardArgs`], backed by `wp_dist`):
+//!
+//! * `--shards N` — the parent mode: fork `N` worker processes (one
+//!   contiguous submission-order range each, re-invoking the current
+//!   executable), merge their NDJSON results and print exactly what a
+//!   single-process run prints;
+//! * `--shard i/N` — the worker mode: run only shard `i`'s range and emit
+//!   NDJSON records (implies `--emit-ndjson`);
+//! * `--emit-ndjson` — emit one machine-readable JSON record per result
+//!   row on stdout instead of the human-readable report.
+//!
 //! Both the `--flag value` and the `--flag=value` spellings are accepted.
 //! Parsing returns [`ArgError`] instead of exiting, so it is unit-testable;
 //! the binaries keep exiting with status 2 through [`ArgError::exit`].
 
 use std::fmt;
+use std::process::Command;
 
+use wp_dist::{run_sharded, Json, ShardPlan, ShardSpec};
 use wp_sim::SweepRunner;
 
 /// A malformed command line, as reported by [`flag_value`] and
@@ -154,6 +169,178 @@ impl SweepArgs {
     }
 }
 
+/// Parsed `--shards` / `--shard` / `--emit-ndjson` process-sharding flags
+/// (see the module docs for the protocol).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardArgs {
+    /// Worker-process count requested with `--shards N` (`0` and `1` both
+    /// mean "run in this process").
+    pub shards: usize,
+    /// This process's worker identity, when `--shard i/N` was given.
+    pub shard: Option<ShardSpec>,
+    /// Whether to emit NDJSON records instead of the human-readable report
+    /// (`--emit-ndjson`, implied by `--shard`).
+    pub emit_ndjson: bool,
+}
+
+impl ShardArgs {
+    /// Parses the sharding flags out of the process arguments, ignoring
+    /// any flags it does not know.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a malformed value or when `--shards` and
+    /// `--shard` are combined (the parent strips `--shards` from the argv
+    /// it hands to workers, so seeing both means a mis-assembled command
+    /// line).
+    pub fn from_env() -> Result<Self, ArgError> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(&args)
+    }
+
+    /// [`ShardArgs::from_env`] over an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on a malformed value or a `--shards`/`--shard`
+    /// combination.
+    pub fn from_args(args: &[String]) -> Result<Self, ArgError> {
+        let shards = match flag_value(args, "--shards")? {
+            None => 0,
+            Some(v) => v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                ArgError::InvalidValue {
+                    flag: "--shards".to_string(),
+                    value: v,
+                    expected: "a positive integer",
+                }
+            })?,
+        };
+        let shard = match flag_value(args, "--shard")? {
+            None => None,
+            Some(v) => Some(ShardSpec::parse(&v).map_err(|_| ArgError::InvalidValue {
+                flag: "--shard".to_string(),
+                value: v,
+                expected: "i/N with i < N (e.g. 0/4)",
+            })?),
+        };
+        if shards > 1 && shard.is_some() {
+            return Err(ArgError::InvalidValue {
+                flag: "--shards".to_string(),
+                value: shards.to_string(),
+                expected: "to not be combined with --shard (workers are spawned by the parent)",
+            });
+        }
+        let emit_ndjson = args.iter().any(|a| a == "--emit-ndjson");
+        if shards > 1 && emit_ndjson {
+            // The parent merges and prints the human-readable report; a
+            // forked NDJSON stream is not defined.  Rejecting here keeps
+            // every binary's dispatch (`is_parent()` vs `emit_ndjson`)
+            // unambiguous.
+            return Err(ArgError::InvalidValue {
+                flag: "--shards".to_string(),
+                value: shards.to_string(),
+                expected: "to not be combined with --emit-ndjson (drop --shards for NDJSON output)",
+            });
+        }
+        Ok(Self {
+            shards,
+            shard,
+            emit_ndjson: emit_ndjson || shard.is_some(),
+        })
+    }
+
+    /// Whether this invocation is the sharding parent (it should spawn
+    /// workers instead of sweeping itself).
+    pub fn is_parent(&self) -> bool {
+        self.shards > 1 && self.shard.is_none()
+    }
+
+    /// The argv for worker `shard`: this process's own arguments with any
+    /// `--shards` flag removed and `--shard i/N --emit-ndjson` appended.
+    pub fn worker_args(args: &[String], shard: ShardSpec) -> Vec<String> {
+        let mut out = Vec::with_capacity(args.len() + 3);
+        let mut skip_value = false;
+        for arg in args {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            if arg == "--shards" || arg == "--shard" {
+                // The separate-value spelling: also drop the value token
+                // (unless it is the next flag, which `flag_value` would
+                // have rejected anyway).
+                skip_value = true;
+                continue;
+            }
+            if arg.starts_with("--shards=") || arg.starts_with("--shard=") || arg == "--emit-ndjson"
+            {
+                continue;
+            }
+            out.push(arg.clone());
+        }
+        out.push("--shard".to_string());
+        out.push(shard.to_string());
+        out.push("--emit-ndjson".to_string());
+        out
+    }
+
+    /// The parent side of a sharded experiment, shared by every sharding
+    /// binary: plans `n_items` result rows over `self.shards` contiguous
+    /// ranges, logs the fork to stderr (`noun` names a row, e.g. "table
+    /// row"; `gate` reports the equivalence gate, or `None` for binaries
+    /// without one), spawns one re-invocation of the current executable
+    /// per populated shard and returns the merged NDJSON records in
+    /// submission order.
+    ///
+    /// When the command line did not pin `--workers`, every worker is
+    /// handed an equal share of the machine's cores
+    /// (`available_parallelism / populated shards`, at least 1) so that a
+    /// forked sweep does not oversubscribe the CPU with
+    /// `shards × cores` threads.  Results are unaffected either way —
+    /// sweep outcomes are worker-count-independent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`std::env::current_exe`] failures and any
+    /// [`wp_dist::DistError`] from the worker protocol.
+    pub fn run_sharded_rows(
+        &self,
+        n_items: usize,
+        noun: &str,
+        gate: Option<bool>,
+    ) -> Result<Vec<Json>, Box<dyn std::error::Error>> {
+        let plan = ShardPlan::split(n_items, self.shards);
+        let workers = plan.populated_shards().count();
+        eprintln!(
+            "sharding {n_items} {noun}(s) across {workers} worker process(es){}",
+            match gate {
+                Some(true) => ", equivalence gate on",
+                Some(false) => ", equivalence gate off",
+                None => "",
+            },
+        );
+        let exe = std::env::current_exe()?;
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        if flag_value(&args, "--workers")?.is_none() {
+            let cores = std::thread::available_parallelism().map_or(1, usize::from);
+            let share = (cores / workers.max(1)).max(1);
+            args.push(format!("--workers={share}"));
+        }
+        let records = run_sharded(&plan, |shard| {
+            let mut command = Command::new(&exe);
+            command.args(Self::worker_args(
+                &args,
+                ShardSpec {
+                    index: shard,
+                    total: plan.shards(),
+                },
+            ));
+            command
+        })?;
+        Ok(records)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +444,83 @@ mod tests {
     fn prefix_flags_are_not_confused() {
         // "--batch" must not match "--batch-size" style prefixes.
         assert_eq!(flag_value(&strings(&["--batches=9"]), "--batch"), Ok(None));
+    }
+
+    #[test]
+    fn shard_args_default_to_in_process() {
+        let args = ShardArgs::from_args(&strings(&["--quick"])).expect("parses");
+        assert_eq!(args, ShardArgs::default());
+        assert!(!args.is_parent());
+        assert!(!args.emit_ndjson);
+    }
+
+    #[test]
+    fn shard_args_parse_the_parent_and_worker_modes() {
+        let parent = ShardArgs::from_args(&strings(&["--shards", "4", "--quick"])).expect("parses");
+        assert_eq!(parent.shards, 4);
+        assert!(parent.is_parent());
+        assert!(!parent.emit_ndjson);
+
+        let worker = ShardArgs::from_args(&strings(&["--shard=2/4", "--quick"])).expect("parses");
+        let spec = worker.shard.expect("worker mode");
+        assert_eq!((spec.index, spec.total), (2, 4));
+        assert!(!worker.is_parent());
+        assert!(worker.emit_ndjson, "--shard implies --emit-ndjson");
+
+        let ndjson = ShardArgs::from_args(&strings(&["--emit-ndjson"])).expect("parses");
+        assert!(ndjson.emit_ndjson);
+        assert!(ndjson.shard.is_none());
+
+        // One shard is the in-process path, not the parent path.
+        assert!(!ShardArgs::from_args(&strings(&["--shards", "1"]))
+            .expect("parses")
+            .is_parent());
+    }
+
+    #[test]
+    fn shard_args_reject_malformed_and_conflicting_flags() {
+        for bad in [
+            vec!["--shards", "0"],
+            vec!["--shards", "x"],
+            vec!["--shard", "4/4"],
+            vec!["--shard", "2"],
+            vec!["--shards", "2", "--shard", "0/2"],
+            vec!["--shards", "2", "--emit-ndjson"],
+        ] {
+            assert!(
+                ShardArgs::from_args(&strings(&bad)).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_args_strip_the_parent_flags_and_append_the_worker_triple() {
+        let spec = wp_dist::ShardSpec::parse("1/3").unwrap();
+        let argv = strings(&[
+            "--quick",
+            "--shards",
+            "3",
+            "--verify",
+            "--workers=2",
+            "--emit-ndjson",
+        ]);
+        assert_eq!(
+            ShardArgs::worker_args(&argv, spec),
+            strings(&[
+                "--quick",
+                "--verify",
+                "--workers=2",
+                "--shard",
+                "1/3",
+                "--emit-ndjson"
+            ])
+        );
+        // The equals spelling and stale --shard flags are stripped too.
+        let argv = strings(&["--shards=3", "--shard=0/9", "--quick"]);
+        assert_eq!(
+            ShardArgs::worker_args(&argv, spec),
+            strings(&["--quick", "--shard", "1/3", "--emit-ndjson"])
+        );
     }
 }

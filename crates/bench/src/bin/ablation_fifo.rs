@@ -8,33 +8,38 @@
 //! `wp_sim::SweepRunner`'s work-stealing scheduler; control it with
 //! `--workers N` and `--batch N`.  Pass `--verify` to stream every run
 //! against its golden twin while it executes and print the proven
-//! equivalence prefix (N) per depth and policy.
+//! equivalence prefix (N) per depth and policy.  The depth rows can be
+//! sharded across worker processes with `--shards N` (worker mode:
+//! `--shard i/N` / `--emit-ndjson`), merging to byte-identical output.
 
 use wp_bench::{
-    soc_scenario_with_config, sort_workload, with_soc_equivalence, SweepArgs, MAX_CYCLES,
+    json_opt_usize, soc_scenario_with_config, sort_workload, with_soc_equivalence, ShardArgs,
+    SweepArgs, MAX_CYCLES,
 };
 use wp_core::ShellConfig;
 use wp_proc::SocState;
 use wp_proc::{run_golden_soc, Link, Organization, RsConfig};
-use wp_sim::SweepOutcome;
+use wp_sim::{Scenario, SweepOutcome};
 
-/// The proven N of one outcome, or "-" when the gate was off.
-fn proven(outcome: &SweepOutcome<SocState>) -> String {
-    outcome
-        .equivalence
-        .as_ref()
-        .map_or_else(|| "-".to_string(), |r| r.proven_n().to_string())
+const DEPTHS: [usize; 6] = [2, 3, 4, 6, 8, 16];
+
+/// One merged table row: the queue depth, both cycle counts and — under
+/// `--verify` — the proven equivalence prefix per policy.
+struct Row {
+    depth: usize,
+    wp1_cycles: u64,
+    wp2_cycles: u64,
+    n_wp1: Option<usize>,
+    n_wp2: Option<usize>,
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let verify = args.iter().any(|a| a == "--verify");
+/// The 2 × depths scenario list, WP1/WP2-interleaved in depth order (the
+/// submission order shared by the sharding parent and its workers: row `i`
+/// owns scenarios `2i` and `2i + 1`).
+fn scenarios(verify: bool) -> Vec<Scenario<wp_proc::Msg, SocState>> {
     let workload = sort_workload();
-    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)?;
     let rs = RsConfig::uniform(1, &[Link::CuIc]);
-
-    let depths = [2usize, 3, 4, 6, 8, 16];
-    let scenarios = depths
+    DEPTHS
         .iter()
         .flat_map(|&depth| {
             [
@@ -56,37 +61,122 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             })
         })
-        .collect();
-    let outcomes: Vec<SweepOutcome<SocState>> = SweepArgs::from_env()
-        .unwrap_or_else(|e| e.exit())
-        .runner()
-        .run(scenarios)
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        .collect()
+}
 
+/// Fails on a non-equivalent outcome, returns its proven N otherwise.
+fn checked_proven(outcome: &SweepOutcome<SocState>) -> Result<Option<usize>, String> {
+    match &outcome.equivalence {
+        Some(report) if !report.is_equivalent() => Err(format!("{}: {report}", outcome.label)),
+        Some(report) => Ok(Some(report.proven_n())),
+        None => Ok(None),
+    }
+}
+
+/// Folds one depth row out of its WP1/WP2 outcome pair.
+fn row_of(
+    depth: usize,
+    wp1: &SweepOutcome<SocState>,
+    wp2: &SweepOutcome<SocState>,
+) -> Result<Row, String> {
+    Ok(Row {
+        depth,
+        wp1_cycles: wp1.cycles_to_goal,
+        wp2_cycles: wp2.cycles_to_goal,
+        n_wp1: checked_proven(wp1)?,
+        n_wp2: checked_proven(wp2)?,
+    })
+}
+
+fn print_table(golden_cycles: u64, rows: &[Row]) {
+    let opt = |n: Option<usize>| n.map_or_else(|| "-".to_string(), |n| n.to_string());
     println!("FIFO-depth ablation: sort, pipelined, All 1 (no CU-IC)\n");
     println!(
         "{:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
         "depth", "WP1 cyc", "WP2 cyc", "Th WP1", "Th WP2", "N WP1", "N WP2"
     );
-    for (i, &depth) in depths.iter().enumerate() {
-        let wp1 = &outcomes[2 * i];
-        let wp2 = &outcomes[2 * i + 1];
-        if let Some(report) = wp1.equivalence.as_ref().filter(|r| !r.is_equivalent()) {
-            return Err(format!("{}: {report}", wp1.label).into());
-        }
-        if let Some(report) = wp2.equivalence.as_ref().filter(|r| !r.is_equivalent()) {
-            return Err(format!("{}: {report}", wp2.label).into());
-        }
+    for row in rows {
         println!(
-            "{depth:>8} {:>10} {:>10} {:>8.3} {:>8.3} {:>8} {:>8}",
-            wp1.cycles_to_goal,
-            wp2.cycles_to_goal,
-            golden.cycles as f64 / wp1.cycles_to_goal as f64,
-            golden.cycles as f64 / wp2.cycles_to_goal as f64,
-            proven(wp1),
-            proven(wp2),
+            "{:>8} {:>10} {:>10} {:>8.3} {:>8.3} {:>8} {:>8}",
+            row.depth,
+            row.wp1_cycles,
+            row.wp2_cycles,
+            golden_cycles as f64 / row.wp1_cycles as f64,
+            golden_cycles as f64 / row.wp2_cycles as f64,
+            opt(row.n_wp1),
+            opt(row.n_wp2),
         );
     }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = args.iter().any(|a| a == "--verify");
+    let sweep = SweepArgs::from_args(&args).unwrap_or_else(|e| e.exit());
+    let shard = ShardArgs::from_args(&args).unwrap_or_else(|e| e.exit());
+    let n_rows = DEPTHS.len();
+
+    if shard.emit_ndjson {
+        // Worker mode: row i owns scenarios 2i and 2i+1.
+        let rows = match shard.shard {
+            Some(spec) => spec.range(n_rows),
+            None => 0..n_rows,
+        };
+        let outcomes: Vec<SweepOutcome<SocState>> = sweep
+            .runner()
+            .run_range(scenarios(verify), 2 * rows.start..2 * rows.end)
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        for (offset, index) in rows.enumerate() {
+            let row = row_of(
+                DEPTHS[index],
+                &outcomes[2 * offset],
+                &outcomes[2 * offset + 1],
+            )?;
+            println!(
+                "{{\"index\": {index}, \"depth\": {}, \"wp1_cycles\": {}, \"wp2_cycles\": {}, \
+                 \"n_wp1\": {}, \"n_wp2\": {}}}",
+                row.depth,
+                row.wp1_cycles,
+                row.wp2_cycles,
+                json_opt_usize(row.n_wp1),
+                json_opt_usize(row.n_wp2),
+            );
+        }
+        return Ok(());
+    }
+
+    let workload = sort_workload();
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)?;
+
+    let rows: Vec<Row> = if shard.is_parent() {
+        let records = shard.run_sharded_rows(n_rows, "depth row", Some(verify))?;
+        records
+            .iter()
+            .enumerate()
+            .map(|(i, record)| -> Result<Row, Box<dyn std::error::Error>> {
+                let context = |e: String| format!("worker record for row {i}: {e}");
+                Ok(Row {
+                    depth: record.require_usize("depth").map_err(context)?,
+                    wp1_cycles: record.require_u64("wp1_cycles").map_err(context)?,
+                    wp2_cycles: record.require_u64("wp2_cycles").map_err(context)?,
+                    n_wp1: record.require_nullable_usize("n_wp1").map_err(context)?,
+                    n_wp2: record.require_nullable_usize("n_wp2").map_err(context)?,
+                })
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let outcomes: Vec<SweepOutcome<SocState>> = sweep
+            .runner()
+            .run(scenarios(verify))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        DEPTHS
+            .iter()
+            .enumerate()
+            .map(|(i, &depth)| row_of(depth, &outcomes[2 * i], &outcomes[2 * i + 1]))
+            .collect::<Result<_, _>>()?
+    };
+    print_table(golden.cycles, &rows);
     Ok(())
 }

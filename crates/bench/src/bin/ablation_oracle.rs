@@ -9,18 +9,31 @@
 //! `wp_bench::degraded_ring_scenario`; control the scheduler with
 //! `--workers N` and `--batch N`.  Pass `--verify` to stream every run
 //! against its golden twin (`wp_bench::build_degraded_ring` with shells
-//! stripped) and print the proven equivalence prefix (N) per row.
+//! stripped) and print the proven equivalence prefix (N) per row.  The rows
+//! can be sharded across worker processes with `--shards N` (worker mode:
+//! `--shard i/N` / `--emit-ndjson`), merging to byte-identical output.
 
-use wp_bench::{build_degraded_ring, degraded_ring_scenario, SweepArgs};
+use wp_bench::{
+    build_degraded_ring, degraded_ring_scenario, json_f64, json_opt_usize, json_string, ShardArgs,
+    SweepArgs,
+};
 use wp_core::SyncPolicy;
 use wp_sim::{Scenario, SweepOutcome};
 
 const FIRINGS: u64 = 2_000;
+const PERIODS: [u64; 6] = [1, 2, 4, 8, 16, 64];
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    const PERIODS: [u64; 6] = [1, 2, 4, 8, 16, 64];
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let verify = args.iter().any(|a| a == "--verify");
+/// One merged result row: the scenario label with its measured throughput
+/// and — under `--verify` — the proven equivalence prefix.
+struct Row {
+    throughput: f64,
+    proven_n: Option<usize>,
+}
+
+/// The full scenario list in submission order: WP1, the degradation sweep,
+/// then the exact oracle (the global row numbering shared by the sharding
+/// parent and its workers).
+fn scenarios(verify: bool) -> Vec<Scenario<u64>> {
     let scenario = |label: String, period: Option<u64>, policy: SyncPolicy| -> Scenario<u64> {
         let s = degraded_ring_scenario(label, period, policy, FIRINGS);
         if verify {
@@ -42,26 +55,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(u64::MAX),
         SyncPolicy::Oracle,
     ));
+    scenarios
+}
 
-    let outcomes: Vec<SweepOutcome> = SweepArgs::from_env()
-        .unwrap_or_else(|e| e.exit())
-        .runner()
-        .run(scenarios)
-        .into_iter()
-        .collect::<Result<_, _>>()?;
-    for outcome in &outcomes {
-        if let Some(report) = outcome.equivalence.as_ref().filter(|r| !r.is_equivalent()) {
-            return Err(format!("{}: {report}", outcome.label).into());
-        }
+/// Fails on a non-equivalent outcome, folds a result row otherwise.
+fn row_of(outcome: &SweepOutcome) -> Result<Row, String> {
+    if let Some(report) = outcome.equivalence.as_ref().filter(|r| !r.is_equivalent()) {
+        return Err(format!("{}: {report}", outcome.label));
     }
-    let th = |i: usize| outcomes[i].report.throughput_of(0);
-    let proven = |i: usize| -> String {
-        outcomes[i]
-            .equivalence
-            .as_ref()
-            .map_or_else(String::new, |r| format!("  (proven N = {})", r.proven_n()))
-    };
+    Ok(Row {
+        throughput: outcome.report.throughput_of(0),
+        proven_n: outcome.equivalence.as_ref().map(|r| r.proven_n()),
+    })
+}
 
+fn print_table(rows: &[Row]) {
+    let th = |i: usize| rows[i].throughput;
+    let proven = |i: usize| -> String {
+        rows[i]
+            .proven_n
+            .map_or_else(String::new, |n| format!("  (proven N = {n})"))
+    };
     println!("Oracle-quality ablation: 2-process loop, 1 RS, loop needed every 4th firing\n");
     println!(
         "WP1 (no oracle)                    Th = {:.3}{}",
@@ -80,5 +94,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         th(PERIODS.len() + 1),
         proven(PERIODS.len() + 1)
     );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = args.iter().any(|a| a == "--verify");
+    let sweep = SweepArgs::from_args(&args).unwrap_or_else(|e| e.exit());
+    let shard = ShardArgs::from_args(&args).unwrap_or_else(|e| e.exit());
+    let n = 2 + PERIODS.len();
+
+    if shard.emit_ndjson {
+        let range = match shard.shard {
+            Some(spec) => spec.range(n),
+            None => 0..n,
+        };
+        let outcomes: Vec<SweepOutcome> = sweep
+            .runner()
+            .run_range(scenarios(verify), range.clone())
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        for (index, outcome) in range.zip(&outcomes) {
+            let row = row_of(outcome)?;
+            println!(
+                "{{\"index\": {index}, \"label\": {}, \"throughput\": {}, \"proven_n\": {}}}",
+                json_string(&outcome.label),
+                json_f64(row.throughput),
+                json_opt_usize(row.proven_n),
+            );
+        }
+        return Ok(());
+    }
+
+    let rows: Vec<Row> = if shard.is_parent() {
+        let records = shard.run_sharded_rows(n, "ablation row", Some(verify))?;
+        records
+            .iter()
+            .enumerate()
+            .map(|(i, record)| -> Result<Row, Box<dyn std::error::Error>> {
+                let context = |e: String| format!("worker record for row {i}: {e}");
+                Ok(Row {
+                    throughput: record.require_f64("throughput").map_err(context)?,
+                    proven_n: record.require_nullable_usize("proven_n").map_err(context)?,
+                })
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let outcomes: Vec<SweepOutcome> = sweep
+            .runner()
+            .run(scenarios(verify))
+            .into_iter()
+            .collect::<Result<_, _>>()?;
+        outcomes.iter().map(row_of).collect::<Result<_, _>>()?
+    };
+    print_table(&rows);
     Ok(())
 }

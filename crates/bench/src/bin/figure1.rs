@@ -5,16 +5,39 @@
 //! Besides the analytic law, the per-link table now also *measures* the WP1
 //! throughput of every single-link configuration — a 10-scenario
 //! `wp_sim::SweepRunner` sweep of the full processor.  The scheduler is
-//! controlled with `--workers N` and `--batch N`.
+//! controlled with `--workers N` and `--batch N`, and the measured sweep
+//! can be sharded across worker processes with `--shards N` (worker mode:
+//! `--shard i/N` / `--emit-ndjson`), merging to byte-identical output.
 
-use wp_bench::{predict_wp1_throughput, soc_scenario, sort_workload, SweepArgs, MAX_CYCLES};
+use wp_bench::{
+    predict_wp1_throughput, soc_scenario, sort_workload, ShardArgs, SweepArgs, MAX_CYCLES,
+};
 use wp_core::SyncPolicy;
 use wp_netlist::{analyze_loops, loop_inventory, to_dot, DEFAULT_MAX_LOOPS};
-use wp_proc::{build_soc, run_golden_soc, Link, Organization, RsConfig};
+use wp_proc::{build_soc, run_golden_soc, Link, Organization, RsConfig, Workload};
+use wp_sim::Scenario;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workload = sort_workload();
-    let builder = build_soc(&workload, Organization::Pipelined, &RsConfig::ideal());
+/// The per-link WP1 scenarios, in `Link::ALL` submission order (the global
+/// row numbering shared by the sharding parent and its workers).
+fn link_scenarios(workload: &Workload) -> Vec<Scenario<wp_proc::Msg, wp_proc::SocState>> {
+    Link::ALL
+        .iter()
+        .map(|&link| {
+            soc_scenario(
+                link.label(),
+                workload,
+                Organization::Pipelined,
+                RsConfig::single(link, 1),
+                SyncPolicy::Strict,
+            )
+        })
+        .collect()
+}
+
+/// Prints the analytic half: the DOT netlist, the loop inventory and the
+/// system throughput predicted by the law.
+fn print_analytics(workload: &Workload) {
+    let builder = build_soc(workload, Organization::Pipelined, &RsConfig::ideal());
     let net = builder.to_netlist();
 
     println!("Figure 1: case-study netlist (Graphviz DOT)\n");
@@ -22,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Netlist loops and the m/(m+n) law with 1 RS on every link (no CU-IC):");
     let builder = build_soc(
-        &workload,
+        workload,
         Organization::Pipelined,
         &RsConfig::uniform(1, &[Link::CuIc]),
     );
@@ -33,41 +56,76 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "worst-loop (system) throughput predicted for WP1: {:.3}",
         analysis.system_throughput()
     );
+}
 
-    // Per-link worst loop: the analytic prediction next to a measured WP1
-    // run of the same configuration, one sweep scenario per link.
-    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)?;
-    let scenarios = Link::ALL
-        .iter()
-        .map(|&link| {
-            soc_scenario(
-                link.label(),
-                &workload,
-                Organization::Pipelined,
-                RsConfig::single(link, 1),
-                SyncPolicy::Strict,
-            )
-        })
-        .collect();
-    let outcomes = SweepArgs::from_env()
-        .unwrap_or_else(|e| e.exit())
-        .runner()
-        .run(scenarios);
-
+/// Prints the measured per-link table from the merged `(link, cycles)`
+/// rows.
+fn print_link_table(workload: &Workload, golden_cycles: u64, cycles_to_goal: &[u64]) {
     println!("\nPer-link worst loop (1 RS on that link only):");
     println!(
         "  {:<8} {:>14} {:>13}",
         "link", "predicted WP1", "measured WP1"
     );
-    for (link, outcome) in Link::ALL.iter().zip(outcomes) {
-        let outcome = outcome?;
+    for (link, &cycles) in Link::ALL.iter().zip(cycles_to_goal) {
         let predicted = predict_wp1_throughput(
-            &workload,
+            workload,
             Organization::Pipelined,
             &RsConfig::single(*link, 1),
         );
-        let measured = golden.cycles as f64 / outcome.cycles_to_goal as f64;
+        let measured = golden_cycles as f64 / cycles as f64;
         println!("  {:<8} {predicted:>14.3} {measured:>13.3}", link.label());
     }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = sort_workload();
+    let sweep = SweepArgs::from_env().unwrap_or_else(|e| e.exit());
+    let shard = ShardArgs::from_env().unwrap_or_else(|e| e.exit());
+    let n = Link::ALL.len();
+
+    if shard.emit_ndjson {
+        // Worker mode: run only this shard's link range, one NDJSON record
+        // per link.
+        let range = match shard.shard {
+            Some(spec) => spec.range(n),
+            None => 0..n,
+        };
+        let outcomes = sweep
+            .runner()
+            .run_range(link_scenarios(&workload), range.clone());
+        for (index, outcome) in range.zip(outcomes) {
+            let outcome = outcome?;
+            println!(
+                "{{\"index\": {index}, \"link\": {}, \"cycles_to_goal\": {}}}",
+                wp_bench::json_string(Link::ALL[index].label()),
+                outcome.cycles_to_goal
+            );
+        }
+        return Ok(());
+    }
+
+    print_analytics(&workload);
+    let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)?;
+
+    let cycles: Vec<u64> = if shard.is_parent() {
+        let records = shard.run_sharded_rows(n, "per-link run", None)?;
+        records
+            .iter()
+            .enumerate()
+            .map(|(i, record)| {
+                record
+                    .require_u64("cycles_to_goal")
+                    .map_err(|e| format!("worker record for link {i}: {e}").into())
+            })
+            .collect::<Result<_, Box<dyn std::error::Error>>>()?
+    } else {
+        sweep
+            .runner()
+            .run(link_scenarios(&workload))
+            .into_iter()
+            .map(|outcome| outcome.map(|o| o.cycles_to_goal))
+            .collect::<Result<_, _>>()?
+    };
+    print_link_table(&workload, golden.cycles, &cycles);
     Ok(())
 }

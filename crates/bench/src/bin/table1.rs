@@ -3,10 +3,15 @@
 //! comparing WP1 (strict shells) with WP2 (oracle shells).
 //!
 //! The 2 × configurations wire-pipelined runs of each table are swept across
-//! worker threads by `wp_sim::SweepRunner`'s work-stealing scheduler.
+//! worker threads by `wp_sim::SweepRunner`'s work-stealing scheduler, and
+//! the table rows can additionally be sharded across worker *processes*
+//! (`wp_dist`): `--shards N` re-invokes this executable once per contiguous
+//! row range, merges the NDJSON results and prints byte-identical output to
+//! a single-process run.
 //!
 //! Usage: `table1 [--program sort|matmul|both] [--quick] [--verify]
-//! [--workers N] [--batch N] [--json PATH]`
+//! [--workers N] [--batch N] [--json PATH] [--shards N | --shard i/N]
+//! [--emit-ndjson]`
 //!
 //! `--quick` shrinks the workloads and the configuration sweep to a few
 //! seconds of wall-clock and writes the machine-readable report
@@ -24,7 +29,8 @@ use std::time::Instant;
 
 use wp_bench::{
     bench_report_json, flag_value, format_table, matmul_workload, run_table_on, run_table_verified,
-    sort_workload, table1_base_configs, table1_two_rs_configs, BenchTable, SweepArgs,
+    sort_workload, table1_base_configs, table1_two_rs_configs, table_row_from_json,
+    table_row_ndjson, BenchTable, ShardArgs, SweepArgs, TableRow,
 };
 use wp_proc::{extraction_sort, matrix_multiply, Organization, RsConfig, SocError, Workload};
 use wp_sim::SweepRunner;
@@ -34,6 +40,7 @@ struct Args {
     quick: bool,
     verify: bool,
     sweep: SweepArgs,
+    shard: ShardArgs,
     json: Option<String>,
 }
 
@@ -48,12 +55,23 @@ fn parse_args() -> Args {
         quick,
         verify: args.iter().any(|a| a == "--verify"),
         sweep: SweepArgs::from_args(&args).unwrap_or_else(|e| e.exit()),
+        shard: ShardArgs::from_args(&args).unwrap_or_else(|e| e.exit()),
         json: flag("--json").or_else(|| quick.then(|| "BENCH_table1.json".to_string())),
     }
 }
 
-fn sort_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocError> {
-    let (workload, label): (Workload, String) = if args.quick {
+/// One table of the experiment: its caption, workload and the
+/// relay-station configurations of its rows.  Built deterministically from
+/// the flags, so the sharding parent and every worker agree on the global
+/// row numbering.
+struct TableSpec {
+    title: String,
+    workload: Workload,
+    configs: Vec<(String, RsConfig)>,
+}
+
+fn sort_spec(args: &Args) -> TableSpec {
+    let (workload, title): (Workload, String) = if args.quick {
         (
             extraction_sort(6, wp_bench::WORKLOAD_SEED).expect("sort workload assembles"),
             "Table 1 (upper, quick): Extraction Sort, pipelined (6 elements)".into(),
@@ -75,27 +93,15 @@ fn sort_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocError>
             1,
         ));
     }
-    let rows = run(args, runner, &workload, &configs)?;
-    println!("{}", format_table(&label, &rows));
-    Ok(BenchTable { title: label, rows })
-}
-
-/// Dispatches to the verified or unverified table runner.
-fn run(
-    args: &Args,
-    runner: &SweepRunner,
-    workload: &Workload,
-    configs: &[(String, RsConfig)],
-) -> Result<Vec<wp_bench::TableRow>, SocError> {
-    if args.verify {
-        run_table_verified(runner, workload, Organization::Pipelined, configs)
-    } else {
-        run_table_on(runner, workload, Organization::Pipelined, configs)
+    TableSpec {
+        title,
+        workload,
+        configs,
     }
 }
 
-fn matmul_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocError> {
-    let (workload, label): (Workload, String) = if args.quick {
+fn matmul_spec(args: &Args) -> TableSpec {
+    let (workload, title): (Workload, String) = if args.quick {
         (
             matrix_multiply(3, wp_bench::WORKLOAD_SEED).expect("matmul workload assembles"),
             "Table 1 (lower, quick): Matrix Multiply, pipelined (3x3)".into(),
@@ -123,13 +129,62 @@ fn matmul_table(args: &Args, runner: &SweepRunner) -> Result<BenchTable, SocErro
             2,
         ));
     }
-    let rows = run(args, runner, &workload, &configs)?;
-    println!("{}", format_table(&label, &rows));
-    Ok(BenchTable { title: label, rows })
+    TableSpec {
+        title,
+        workload,
+        configs,
+    }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args();
+fn table_specs(args: &Args) -> Vec<TableSpec> {
+    let mut specs = Vec::new();
+    if args.program == "sort" || args.program == "both" {
+        specs.push(sort_spec(args));
+    }
+    if args.program == "matmul" || args.program == "both" {
+        specs.push(matmul_spec(args));
+    }
+    specs
+}
+
+/// Dispatches a contiguous config slice of one table to the verified or
+/// unverified table runner.
+fn run(
+    args: &Args,
+    runner: &SweepRunner,
+    workload: &Workload,
+    configs: &[(String, RsConfig)],
+) -> Result<Vec<TableRow>, SocError> {
+    if args.verify {
+        run_table_verified(runner, workload, Organization::Pipelined, configs)
+    } else {
+        run_table_on(runner, workload, Organization::Pipelined, configs)
+    }
+}
+
+/// Prints the tables and writes the machine-readable report, exactly the
+/// same way for the in-process and the sharded-parent paths.
+fn publish(args: &Args, tables: Vec<BenchTable>, wall_seconds: f64) -> std::io::Result<()> {
+    for table in &tables {
+        println!("{}", format_table(&table.title, &table.rows));
+    }
+    if let Some(path) = &args.json {
+        let runner = args.sweep.runner();
+        let report = bench_report_json(
+            "table1",
+            runner.workers(),
+            runner.batch(),
+            wall_seconds,
+            &tables,
+        );
+        std::fs::write(path, report)?;
+        eprintln!("wrote machine-readable report to {path}");
+    }
+    Ok(())
+}
+
+/// The in-process path (`--shards` absent or 1): sweep everything here.
+fn run_local(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::error::Error>> {
     let runner = args.sweep.runner();
     eprintln!(
         "sweeping wire-pipelined runs across {} worker thread(s), batch {}, equivalence gate {}",
@@ -143,23 +198,106 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let start = Instant::now();
     let mut tables = Vec::new();
-    if args.program == "sort" || args.program == "both" {
-        tables.push(sort_table(&args, &runner)?);
+    for spec in specs {
+        let rows = run(args, &runner, &spec.workload, &spec.configs)?;
+        tables.push(BenchTable {
+            title: spec.title,
+            rows,
+        });
     }
-    if args.program == "matmul" || args.program == "both" {
-        tables.push(matmul_table(&args, &runner)?);
-    }
-    let wall_seconds = start.elapsed().as_secs_f64();
-    if let Some(path) = &args.json {
-        let report = bench_report_json(
-            "table1",
-            runner.workers(),
-            runner.batch(),
-            wall_seconds,
-            &tables,
-        );
-        std::fs::write(path, report)?;
-        eprintln!("wrote machine-readable report to {path}");
+    publish(args, tables, start.elapsed().as_secs_f64())?;
+    Ok(())
+}
+
+/// The worker path (`--shard i/N` / `--emit-ndjson`): run only this shard's
+/// contiguous global row range and emit one NDJSON record per row.
+fn run_worker(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::error::Error>> {
+    let total: usize = specs.iter().map(|s| s.configs.len()).sum();
+    let range = match args.shard.shard {
+        Some(spec) => spec.range(total),
+        None => 0..total,
+    };
+    let runner = args.sweep.runner();
+    let mut offset = 0usize;
+    for (table, spec) in specs.iter().enumerate() {
+        let span = offset..offset + spec.configs.len();
+        let start = range.start.max(span.start);
+        let end = range.end.min(span.end);
+        if start < end {
+            let rows = run(
+                args,
+                &runner,
+                &spec.workload,
+                &spec.configs[start - offset..end - offset],
+            )?;
+            for (i, row) in rows.iter().enumerate() {
+                println!("{}", table_row_ndjson(start + i, table, row));
+            }
+        }
+        offset = span.end;
     }
     Ok(())
+}
+
+/// The parent path (`--shards N`): fork one worker per contiguous row
+/// range, merge their NDJSON records and publish exactly what the
+/// in-process path publishes.
+fn run_parent(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::error::Error>> {
+    let total: usize = specs.iter().map(|s| s.configs.len()).sum();
+    let start = Instant::now();
+    let records = args
+        .shard
+        .run_sharded_rows(total, "table row", Some(args.verify))?;
+
+    // The table of a row is a function of its protocol-validated global
+    // index (the specs are concatenated in order), so derive it from the
+    // index and treat the record's own "table" member purely as a
+    // cross-check: a worker with skewed table numbering fails loudly
+    // instead of corrupting the merged tables.
+    let row_counts: Vec<usize> = specs.iter().map(|s| s.configs.len()).collect();
+    let table_of = |index: usize| {
+        let mut offset = 0;
+        for (table, count) in row_counts.iter().enumerate() {
+            if index < offset + count {
+                return table;
+            }
+            offset += count;
+        }
+        unreachable!("the protocol validated index < total");
+    };
+    let mut tables: Vec<BenchTable> = specs
+        .into_iter()
+        .map(|spec| BenchTable {
+            title: spec.title,
+            rows: Vec::with_capacity(spec.configs.len()),
+        })
+        .collect();
+    for (index, record) in records.iter().enumerate() {
+        let (table, row) = table_row_from_json(record)
+            .map_err(|e| format!("worker record for row {index}: {e}"))?;
+        let expected_table = table_of(index);
+        if table != expected_table {
+            return Err(format!(
+                "worker record for row {index} is tagged table {table}, \
+                 but the row numbering places it in table {expected_table}: \
+                 mismatched worker binary?"
+            )
+            .into());
+        }
+        tables[expected_table].rows.push(row);
+    }
+    publish(args, tables, start.elapsed().as_secs_f64())?;
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args();
+    let specs = table_specs(&args);
+    if args.shard.is_parent() {
+        run_parent(&args, specs)
+    } else if args.shard.emit_ndjson {
+        run_worker(&args, specs)
+    } else {
+        run_local(&args, specs)
+    }
 }

@@ -10,8 +10,11 @@
 mod args;
 mod json;
 
-pub use args::{flag_value, ArgError, SweepArgs};
-pub use json::{bench_report_json, BenchTable};
+pub use args::{flag_value, ArgError, ShardArgs, SweepArgs};
+pub use json::{
+    bench_report_json, json_f64, json_opt_usize, json_string, table_row_from_json,
+    table_row_ndjson, BenchTable,
+};
 
 use wp_core::{PortSet, Process, ShellConfig, SyncPolicy};
 use wp_proc::{

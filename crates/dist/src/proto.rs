@@ -1,0 +1,383 @@
+//! The parent side of the worker protocol: spawn, collect NDJSON, merge.
+//!
+//! A *worker* is a child process (normally a re-invocation of the current
+//! executable with `--shard i/N --emit-ndjson`) that runs one contiguous
+//! submission-order range of a sweep and prints one JSON object per
+//! completed item to stdout — newline-delimited JSON (NDJSON).  Every
+//! record carries the item's global submission index in an `"index"`
+//! member; everything else is payload the caller interprets.
+//!
+//! The parent ([`run_sharded`]) spawns all populated shards concurrently,
+//! validates each child's output (exit status, well-formed records, and
+//! *exactly* the planned index set — no holes, no duplicates, no
+//! trespassing into another shard's range) and merges the payloads in
+//! submission order.  A shard that fails validation is retried once,
+//! sequentially; a second failure aborts the whole run with a [`DistError`]
+//! naming the shard, so a lost worker can never silently drop rows.
+
+use std::fmt;
+use std::io;
+use std::ops::Range;
+use std::process::{Command, Stdio};
+
+use crate::json::{Json, JsonError};
+use crate::plan::ShardPlan;
+
+/// This worker's identity within a sharded run, as spelled on the command
+/// line: `--shard i/N` with `0 <= i < N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The zero-based shard index.
+    pub index: usize,
+    /// The total shard count.
+    pub total: usize,
+}
+
+impl ShardSpec {
+    /// Parses the `i/N` spelling (`0/4`, `3/4`, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::BadSpec`] unless `value` is `i/N` with
+    /// `i < N` and `N > 0`.
+    pub fn parse(value: &str) -> Result<Self, DistError> {
+        let bad = || DistError::BadSpec {
+            value: value.to_string(),
+        };
+        let (index, total) = value.split_once('/').ok_or_else(bad)?;
+        let index: usize = index.parse().map_err(|_| bad())?;
+        let total: usize = total.parse().map_err(|_| bad())?;
+        if total == 0 || index >= total {
+            return Err(bad());
+        }
+        Ok(Self { index, total })
+    }
+
+    /// The submission-order range this worker owns within a plan over
+    /// `n_items` (the same split the parent computes).
+    pub fn range(&self, n_items: usize) -> Range<usize> {
+        ShardPlan::split(n_items, self.total).range(self.index)
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.total)
+    }
+}
+
+/// One parsed NDJSON worker record: a submission index plus the record's
+/// full JSON object (the `"index"` member included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRecord {
+    /// The global submission-order index the record reports.
+    pub index: usize,
+    /// The whole record object.
+    pub payload: Json,
+}
+
+/// Why a sharded run failed.  Every variant names the offending shard, so
+/// the operator can re-run it in isolation with `--shard i/N`.
+#[derive(Debug)]
+pub enum DistError {
+    /// A malformed `--shard` value.
+    BadSpec {
+        /// The raw value given.
+        value: String,
+    },
+    /// A worker could not be spawned.
+    Spawn {
+        /// The failing shard.
+        shard: usize,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A worker exited unsuccessfully (non-zero status or killed by a
+    /// signal).
+    WorkerFailed {
+        /// The failing shard.
+        shard: usize,
+        /// The exit status description.
+        status: String,
+    },
+    /// A worker's stdout line was not a valid NDJSON record.
+    Malformed {
+        /// The failing shard.
+        shard: usize,
+        /// The 1-based line number within the worker's output.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A worker reported a different index set than its plan range
+    /// (missing, duplicated or trespassing records).
+    WrongIndices {
+        /// The failing shard.
+        shard: usize,
+        /// The range the plan assigned to it.
+        expected: Range<usize>,
+        /// The indices it actually reported, in output order.
+        got: Vec<usize>,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::BadSpec { value } => {
+                write!(f, "--shard expects i/N with i < N, got '{value}'")
+            }
+            DistError::Spawn { shard, source } => {
+                write!(f, "shard {shard}: failed to spawn worker: {source}")
+            }
+            DistError::WorkerFailed { shard, status } => {
+                write!(f, "shard {shard}: worker failed ({status})")
+            }
+            DistError::Malformed {
+                shard,
+                line,
+                message,
+            } => write!(
+                f,
+                "shard {shard}: malformed record on line {line}: {message}"
+            ),
+            DistError::WrongIndices {
+                shard,
+                expected,
+                got,
+            } => write!(
+                f,
+                "shard {shard}: expected exactly indices {}..{}, got {got:?}",
+                expected.start, expected.end
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Spawn { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a worker's NDJSON stdout: one JSON object per non-empty line,
+/// each with a non-negative integer `"index"` member.
+///
+/// # Errors
+///
+/// Returns [`DistError::Malformed`] (attributed to `shard`) on the first
+/// undecodable line.
+pub fn parse_ndjson(shard: usize, stdout: &str) -> Result<Vec<ShardRecord>, DistError> {
+    let malformed = |line: usize, message: String| DistError::Malformed {
+        shard,
+        line,
+        message,
+    };
+    let mut records = Vec::new();
+    for (number, line) in stdout.lines().enumerate() {
+        let number = number + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let payload = Json::parse(line).map_err(|e: JsonError| malformed(number, e.to_string()))?;
+        let index = payload
+            .get("index")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| {
+                malformed(
+                    number,
+                    "record has no non-negative integer \"index\" member".to_string(),
+                )
+            })?;
+        records.push(ShardRecord { index, payload });
+    }
+    Ok(records)
+}
+
+/// Drains one spawned worker to completion (stdout to EOF, then the exit
+/// status).
+fn collect_output(
+    shard: usize,
+    child: Result<std::process::Child, io::Error>,
+) -> Result<std::process::Output, DistError> {
+    let child = child.map_err(|source| DistError::Spawn { shard, source })?;
+    child
+        .wait_with_output()
+        .map_err(|source| DistError::Spawn { shard, source })
+}
+
+/// Validates one drained worker: exit status, well-formed NDJSON, and
+/// exactly the planned index set.
+fn validate_shard(
+    shard: usize,
+    expected: &Range<usize>,
+    output: std::process::Output,
+) -> Result<Vec<ShardRecord>, DistError> {
+    if !output.status.success() {
+        return Err(DistError::WorkerFailed {
+            shard,
+            status: output.status.to_string(),
+        });
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let records = parse_ndjson(shard, &stdout)?;
+    let mut got: Vec<usize> = records.iter().map(|r| r.index).collect();
+    let mut sorted = got.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    // Exactly the planned index set: a deduplicated sorted list of
+    // expected.len() integers whose min is expected.start and whose max is
+    // expected.end - 1 must be exactly {start, .., end - 1}; requiring the
+    // pre-dedup length to match too rejects duplicate records (a
+    // double-emitted row must not silently last-write-win).
+    let exact = got.len() == expected.len()
+        && sorted.len() == expected.len()
+        && sorted.first() == Some(&expected.start)
+        && sorted.last() == Some(&(expected.end - 1));
+    if !exact {
+        got.sort_unstable();
+        return Err(DistError::WrongIndices {
+            shard,
+            expected: expected.clone(),
+            got,
+        });
+    }
+    Ok(records)
+}
+
+/// Spawns one worker process per populated shard of `plan`, collects each
+/// worker's NDJSON stdout and merges the record payloads back into
+/// submission order.
+///
+/// `make_command` builds the [`Command`] for a given shard index (typically
+/// the current executable with `--shard i/N --emit-ndjson` appended); the
+/// protocol pipes its stdout and leaves stderr inherited, so worker
+/// progress messages still reach the terminal.  All first attempts run
+/// concurrently; every failed shard is then retried **once**, sequentially,
+/// and a second failure aborts the run with the shard's error.
+///
+/// On success the returned vector has exactly `plan.items()` entries — the
+/// full record object of each submission index, in submission order — so
+/// the merge is bit-identical to a single-process run of the same items.
+///
+/// # Errors
+///
+/// Returns the [`DistError`] of the first shard whose retry also failed.
+pub fn run_sharded(
+    plan: &ShardPlan,
+    mut make_command: impl FnMut(usize) -> Command,
+) -> Result<Vec<Json>, DistError> {
+    let mut slots: Vec<Option<Json>> = (0..plan.items()).map(|_| None).collect();
+    let spawn = |shard: usize, make_command: &mut dyn FnMut(usize) -> Command| {
+        let mut command = make_command(shard);
+        command.stdout(Stdio::piped());
+        command.spawn()
+    };
+
+    // First wave: all populated shards in flight concurrently.  Each
+    // child's stdout is drained by its own thread — draining them one
+    // after the other would let a not-yet-waited worker fill its OS pipe
+    // buffer and block mid-sweep, serialising the wave.
+    let children: Vec<(usize, Result<std::process::Child, io::Error>)> = plan
+        .populated_shards()
+        .map(|shard| {
+            let child = spawn(shard, &mut make_command);
+            (shard, child)
+        })
+        .collect();
+    let outputs: Vec<(usize, Result<std::process::Output, DistError>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = children
+                .into_iter()
+                .map(|(shard, child)| (shard, scope.spawn(move || collect_output(shard, child))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|(shard, handle)| (shard, handle.join().expect("drain thread never panics")))
+                .collect()
+        });
+    let mut failed: Vec<(usize, DistError)> = Vec::new();
+    for (shard, output) in outputs {
+        let expected = plan.range(shard);
+        match output.and_then(|output| validate_shard(shard, &expected, output)) {
+            Ok(records) => install(&mut slots, records),
+            Err(error) => failed.push((shard, error)),
+        }
+    }
+
+    // Retry wave: one bounded retry per failed shard, sequentially (a lone
+    // child's pipe is drained to EOF by `wait_with_output`, so no second
+    // thread is needed here).
+    for (shard, first_error) in failed {
+        eprintln!("wp_dist: {first_error}; retrying shard {shard} once");
+        let expected = plan.range(shard);
+        let child = spawn(shard, &mut make_command);
+        let output = collect_output(shard, child)?;
+        let records = validate_shard(shard, &expected, output)?;
+        install(&mut slots, records);
+    }
+
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was validated against its shard range"))
+        .collect())
+}
+
+/// Lands validated records in their submission-order slots.
+fn install(slots: &mut [Option<Json>], records: Vec<ShardRecord>) {
+    for record in records {
+        slots[record.index] = Some(record.payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_the_i_slash_n_spelling() {
+        assert_eq!(
+            ShardSpec::parse("0/4").unwrap(),
+            ShardSpec { index: 0, total: 4 }
+        );
+        assert_eq!(
+            ShardSpec::parse("3/4").unwrap(),
+            ShardSpec { index: 3, total: 4 }
+        );
+        assert_eq!(ShardSpec::parse("3/4").unwrap().to_string(), "3/4");
+        for bad in ["", "4", "4/4", "5/4", "0/0", "-1/4", "a/b", "1/2/3"] {
+            let err = ShardSpec::parse(bad).unwrap_err();
+            assert!(err.to_string().contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn shard_spec_range_matches_the_plan() {
+        let spec = ShardSpec::parse("1/3").unwrap();
+        assert_eq!(spec.range(10), ShardPlan::split(10, 3).range(1));
+    }
+
+    #[test]
+    fn ndjson_parsing_skips_blank_lines_and_requires_an_index() {
+        let records = parse_ndjson(0, "{\"index\": 1, \"x\": 2}\n\n{\"index\": 0}\n").unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].index, 1);
+        assert_eq!(records[0].payload.get("x").unwrap().as_u64(), Some(2));
+        assert_eq!(records[1].index, 0);
+
+        let err = parse_ndjson(3, "{\"index\": 0}\n{\"nope\": 1}\n").unwrap_err();
+        assert!(matches!(
+            err,
+            DistError::Malformed {
+                shard: 3,
+                line: 2,
+                ..
+            }
+        ));
+        let err = parse_ndjson(3, "{oops\n").unwrap_err();
+        assert!(err.to_string().contains("shard 3"), "{err}");
+    }
+}

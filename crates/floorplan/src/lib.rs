@@ -1,18 +1,24 @@
 //! # wp-floorplan — physical-design substrate for wire-pipelined SoCs
 //!
-//! The paper's methodology starts from a physical fact: global wires between
-//! IP blocks are too slow for the target clock and must be pipelined with
-//! relay stations.  This crate provides the minimal physical-design loop
-//! needed to make that methodology end-to-end runnable:
+//! The methodology of *"A New System Design Methodology for Wire Pipelined
+//! SoC"* (M. R. Casu, L. Macchiarulo, DATE 2005) starts from the physical
+//! fact of its **Section 1**: global wires between IP blocks are too slow
+//! for the target clock and must be pipelined with relay stations.  This
+//! crate provides the minimal physical-design loop needed to make the
+//! **Section 3** methodology end-to-end runnable (the `methodology` binary
+//! of `wp-bench` walks all four steps on the **Figure 1** case study):
 //!
 //! 1. place rectangular blocks on a die ([`Floorplan`], [`Placement`]);
 //! 2. estimate per-net wire length (centre-to-centre half-perimeter) and
-//!    delay ([`WireModel`]);
-//! 3. budget relay stations per channel
-//!    ([`wp_netlist::relay_stations_for_delay`]);
-//! 4. evaluate the resulting system throughput with the loop law and
-//!    optionally anneal the placement to trade wire length against loop
-//!    throughput ([`anneal`]).
+//!    delay ([`WireModel`], with the paper's 130 nm assumptions as
+//!    [`WireModel::nm130`]);
+//! 3. budget relay stations per channel from those delays
+//!    ([`wp_netlist::relay_stations_for_delay`]) — the step that turns
+//!    physical lengths into the per-link counts **Table 1** sweeps;
+//! 4. evaluate the resulting system throughput with the **Section 2** loop
+//!    law and optionally anneal the placement to trade wire length against
+//!    loop throughput ([`anneal`]), closing the throughput-driven design
+//!    loop the paper argues for.
 //!
 //! ```
 //! use wp_floorplan::{Block, Floorplan, WireModel};

@@ -1,11 +1,34 @@
 //! # wp-netlist — netlist graph analysis for wire-pipelined systems
 //!
-//! This crate is the graph substrate of the DATE'05 wire-pipelining
-//! reproduction: it represents a system as a directed multigraph of processes
-//! (IP blocks) and channels, enumerates the netlist loops that limit the
-//! throughput of a latency-insensitive implementation, applies the paper's
-//! loop throughput law `Th = m / (m + n)` and searches relay-station
-//! placements.
+//! This crate is the graph substrate of
+//! *"A New System Design Methodology for Wire Pipelined SoC"*
+//! (M. R. Casu, L. Macchiarulo, DATE 2005): it represents a system as a
+//! directed multigraph of processes (IP blocks) and channels, enumerates
+//! the netlist loops that limit the throughput of a latency-insensitive
+//! implementation, applies the paper's loop throughput law
+//! `Th = m / (m + n)` and searches relay-station placements.
+//!
+//! ## Paper map
+//!
+//! * [`Netlist`] / [`to_dot`] — the system graph of the paper's **Figure 1**
+//!   (five blocks, nine channel bundles); `to_dot` regenerates the figure
+//!   as Graphviz input (`figure1` binary of `wp-bench`);
+//! * [`loop_throughput`] / [`analyze_loops`] — the **Section 2** loop law:
+//!   a loop with `m` processes and `n` relay stations sustains
+//!   `Th = m/(m+n)` under strict (WP1) shells, and the worst loop bounds
+//!   the system (the "law WP1" column of **Table 1**; validated end-to-end
+//!   by the `loop_law` binary);
+//! * [`simple_cycles`] / [`strongly_connected_components`] — the loop
+//!   inventory behind that analysis (Johnson-style enumeration restricted
+//!   to cyclic SCCs);
+//! * [`optimize_assignment`] / [`optimize_assignment_greedy`] — the
+//!   relay-station *placement* search of **Section 3**: distribute a fixed
+//!   relay-station budget so the predicted worst-loop throughput is
+//!   maximised (the "Optimal k" rows of **Table 1**);
+//! * [`relay_stations_for_delay`] — the physical lower bound per channel
+//!   (wire delay ⇒ minimum stations), the **Section 1** premise that wires
+//!   no longer cross the die in one clock; `wp-floorplan` supplies the
+//!   delays.
 //!
 //! ## Quick example
 //!

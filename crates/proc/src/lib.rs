@@ -1,21 +1,47 @@
 //! # wp-proc — the case-study processor of the DATE'05 wire-pipelining paper
 //!
-//! The paper evaluates its methodology on "a processor made out of five
-//! components": a control unit (CU), an instruction memory (IC), a data
-//! memory (DC), a register file (RF) and an ALU, connected by the channels of
-//! fig. 1 and exercised by two programs (extraction sort and matrix
-//! multiplication) in two organisations (multicycle and pipelined).
+//! *"A New System Design Methodology for Wire Pipelined SoC"*
+//! (M. R. Casu, L. Macchiarulo, DATE 2005) evaluates its methodology on "a
+//! processor made out of five components": a control unit (CU), an
+//! instruction memory (IC), a data memory (DC), a register file (RF) and an
+//! ALU, connected by the channels of **Figure 1** and exercised by two
+//! programs (extraction sort and matrix multiplication) in two
+//! organisations (multicycle and pipelined).
 //!
 //! This crate recreates that processor on top of the latency-insensitive
-//! machinery of `wp-core`/`wp-sim`:
+//! machinery of `wp-core`/`wp-sim`, one module per paper artifact:
 //!
 //! * [`isa`] / [`assemble`] / [`Iss`] — a minimal ISA, its assembler and an
-//!   architectural reference simulator;
-//! * [`programs`] — generators for the two benchmark workloads;
-//! * [`blocks`] — the five IP blocks, each a [`wp_core::Process`] with the
-//!   oracle (communication profile) the paper's WP2 wrapper exploits;
+//!   architectural reference simulator (the functional contract every
+//!   wire-pipelined run of **Table 1** is checked against);
+//! * [`programs`] — generators for the two **Table 1** benchmark workloads
+//!   ([`extraction_sort`] for the upper half, [`matrix_multiply`] for the
+//!   lower half), each with its expected memory image;
+//! * [`blocks`] — the five IP blocks of **Figure 1**, each a
+//!   [`wp_core::Process`] with the oracle (communication profile) the
+//!   paper's WP2 wrapper exploits (**Section 3**), in both the multicycle
+//!   and the pipelined [`Organization`] discussed in **Section 4**;
 //! * [`build_soc`] / [`run_golden_soc`] / [`run_wp_soc`] — assembly of the
-//!   fig. 1 netlist and run helpers used by the experiment harness.
+//!   **Figure 1** netlist with a per-link relay-station budget
+//!   ([`RsConfig`], one per **Table 1** row) and the run helpers used by
+//!   the experiment harness.
+//!
+//! ## Quick example
+//!
+//! A golden (un-pipelined) run of a small extraction sort; the same
+//! workload drives the full Table 1 sweep in `wp-bench`:
+//!
+//! ```
+//! use wp_proc::{extraction_sort, run_golden_soc, Organization};
+//!
+//! let workload = extraction_sort(4, 3)?;
+//! let golden = run_golden_soc(&workload, Organization::Pipelined, 1_000_000)?;
+//! assert!(golden.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! And the wire-pipelined comparison of the paper (slow in debug builds,
+//! hence not run as a doctest):
 //!
 //! ```no_run
 //! use wp_core::SyncPolicy;

@@ -362,6 +362,36 @@ impl SweepRunner {
         self.run_with_stats(scenarios).0
     }
 
+    /// Runs only the contiguous submission-order `range` of `scenarios`,
+    /// returning that range's outcomes in submission order.
+    ///
+    /// This is the in-process half of *process-level sharding*
+    /// (`wp_dist`): a worker process builds the full, deterministic
+    /// scenario list exactly like a single-process run would, then
+    /// executes only its assigned range.  Because sweep results are
+    /// scheduling-independent, concatenating the `run_range` outcomes of
+    /// ranges that partition `0..scenarios.len()` is identical to a single
+    /// [`SweepRunner::run`] over the whole list (pinned by
+    /// `tests/sweep_sharding.rs`).
+    ///
+    /// The range is clamped to the scenario count, so a plan computed for
+    /// a larger sweep degrades to running nothing instead of panicking.
+    pub fn run_range<V, T>(
+        &self,
+        mut scenarios: Vec<Scenario<V, T>>,
+        range: std::ops::Range<usize>,
+    ) -> Vec<Result<SweepOutcome<T>, SweepError>>
+    where
+        V: Clone + PartialEq,
+        T: Send,
+    {
+        let end = range.end.min(scenarios.len());
+        let start = range.start.min(end);
+        scenarios.truncate(end);
+        scenarios.drain(..start);
+        self.run(scenarios)
+    }
+
     /// [`SweepRunner::run`], additionally returning the scheduler counters
     /// of the sweep.
     pub fn run_with_stats<V, T>(
@@ -771,6 +801,31 @@ mod tests {
         assert_eq!(stats.batch, 4);
         assert_eq!(stats.leases, n, "every scenario is leased exactly once");
         assert_eq!(stats.steals, 0, "a single worker has nobody to steal from");
+    }
+
+    #[test]
+    fn run_range_matches_the_corresponding_slice_of_a_full_run() {
+        let reference = sequential_outcomes();
+        let n = reference.len();
+        for (start, end) in [(0, n), (0, 3), (3, 7), (7, n), (4, 4)] {
+            let outcomes = SweepRunner::new(2).run_range(ring_scenarios(), start..end);
+            let outcomes: Vec<SweepOutcome> = outcomes
+                .into_iter()
+                .map(|o| o.expect("ring scenario completes"))
+                .collect();
+            assert_eq!(outcomes, reference[start..end], "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn run_range_clamps_out_of_bounds_ranges() {
+        let n = ring_scenarios().len();
+        assert!(SweepRunner::new(2)
+            .run_range(ring_scenarios(), n + 5..n + 9)
+            .is_empty());
+        let clamped = SweepRunner::new(2).run_range(ring_scenarios(), n - 1..n + 9);
+        assert_eq!(clamped.len(), 1);
+        assert!(clamped[0].is_ok());
     }
 
     #[test]

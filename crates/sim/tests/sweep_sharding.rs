@@ -1,0 +1,181 @@
+//! Proves the process-sharding contract at the scheduler level: splitting a
+//! sweep into contiguous submission-order ranges (`wp_dist::ShardPlan`),
+//! running each range with `SweepRunner::run_range`, and concatenating the
+//! per-range outcomes is *identical* to one single-process
+//! `SweepRunner::run` over the whole list — for any shard count from 1 to
+//! 2× the scenario count, any worker count, and sweeps that contain
+//! failing scenarios.
+
+use proptest::prelude::*;
+
+use wp_core::{PortSet, Process, ShellConfig};
+use wp_dist::ShardPlan;
+use wp_sim::{RunGoal, Scenario, SweepError, SweepOutcome, SweepRunner, SystemBuilder};
+
+/// A ring stage: increments and forwards (no oracle).
+#[derive(Debug, Clone)]
+struct Stage {
+    name: String,
+    value: u64,
+}
+
+impl Stage {
+    fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            value: 0,
+        }
+    }
+}
+
+impl Process<u64> for Stage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.value
+    }
+    fn required_inputs(&self) -> PortSet {
+        PortSet::all(1)
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        if let Some(v) = inputs[0] {
+            self.value = v + 1;
+        }
+    }
+    fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+fn ring(stages: usize, relay_stations: usize) -> SystemBuilder<u64> {
+    let mut b = SystemBuilder::new();
+    let ids: Vec<_> = (0..stages)
+        .map(|i| b.add_process(Box::new(Stage::new(format!("s{i}")))))
+        .collect();
+    for i in 0..stages {
+        let rs = if i == 0 { relay_stations } else { 0 };
+        b.connect(format!("e{i}"), ids[i], 0, ids[(i + 1) % stages], 0, rs);
+    }
+    b
+}
+
+/// A deterministic mixed sweep: rings of several shapes, some of them
+/// doomed to exceed their cycle budget (sharding must reproduce failures
+/// in place, not just successes).
+fn scenarios(n: usize) -> Vec<Scenario<u64>> {
+    (0..n)
+        .map(|i| {
+            let stages = 2 + i % 3;
+            let rs = i % 4;
+            let doomed = i % 5 == 4;
+            Scenario::new(
+                format!(
+                    "ring{i}_m{stages}_n{rs}{}",
+                    if doomed { "_doomed" } else { "" }
+                ),
+                ShellConfig::strict(),
+                RunGoal::UntilFirings {
+                    process: 0,
+                    target: 40,
+                    max_cycles: if doomed { 3 } else { 50_000 },
+                },
+                move || ring(stages, rs),
+            )
+        })
+        .collect()
+}
+
+/// Normalises an outcome for comparison (`SweepError` is not `PartialEq`;
+/// compare the label and the error text).
+fn key(outcome: &Result<SweepOutcome, SweepError>) -> String {
+    match outcome {
+        Ok(o) => format!("ok:{}:{}:{:?}", o.label, o.cycles_to_goal, o.report),
+        Err(e) => format!("err:{}:{}", e.label, e.error),
+    }
+}
+
+/// Runs the plan shard by shard in-process and concatenates the outcomes.
+fn run_sharded_in_process(n: usize, shards: usize, workers: usize) -> Vec<String> {
+    let plan = ShardPlan::split(n, shards);
+    let mut merged = Vec::new();
+    for shard in 0..plan.shards() {
+        let outcomes = SweepRunner::new(workers).run_range(scenarios(n), plan.range(shard));
+        assert_eq!(
+            outcomes.len(),
+            plan.range(shard).len(),
+            "shard {shard} of {shards} returned the wrong number of outcomes"
+        );
+        merged.extend(outcomes.iter().map(key));
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Any shard count from 1 to 2×scenarios merges to results identical
+    // to the single-process run.
+    #[test]
+    fn any_shard_count_merges_to_the_single_process_results(
+        n in 1usize..12,
+        shard_seed in 0usize..1000,
+        workers in 1usize..4,
+    ) {
+        let reference: Vec<String> =
+            SweepRunner::new(1).run(scenarios(n)).iter().map(key).collect();
+        let shards = 1 + shard_seed % (2 * n);
+        let merged = run_sharded_in_process(n, shards, workers);
+        prop_assert_eq!(&merged, &reference);
+    }
+}
+
+#[test]
+fn every_shard_count_up_to_twice_the_scenarios_merges_identically() {
+    let n = 9;
+    let reference: Vec<String> = SweepRunner::new(2)
+        .run(scenarios(n))
+        .iter()
+        .map(key)
+        .collect();
+    for shards in 1..=2 * n {
+        assert_eq!(
+            run_sharded_in_process(n, shards, 2),
+            reference,
+            "shards = {shards}"
+        );
+    }
+}
+
+#[test]
+fn zero_scenarios_shard_to_nothing() {
+    let plan = ShardPlan::split(0, 3);
+    for shard in 0..plan.shards() {
+        assert!(SweepRunner::new(2)
+            .run_range(scenarios(0), plan.range(shard))
+            .is_empty());
+    }
+}
+
+#[test]
+fn one_shard_is_exactly_the_single_process_run() {
+    let n = 6;
+    let plan = ShardPlan::split(n, 1);
+    let reference: Vec<String> = SweepRunner::new(2)
+        .run(scenarios(n))
+        .iter()
+        .map(key)
+        .collect();
+    let merged: Vec<String> = SweepRunner::new(2)
+        .run_range(scenarios(n), plan.range(0))
+        .iter()
+        .map(key)
+        .collect();
+    assert_eq!(merged, reference);
+}

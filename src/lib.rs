@@ -14,7 +14,9 @@
 //!   assembler and benchmark programs;
 //! * [`floorplan`] (`wp_floorplan`) — placement, wire delay and
 //!   relay-station budgeting;
-//! * [`area`] (`wp_area`) — wrapper area overhead model.
+//! * [`area`] (`wp_area`) — wrapper area overhead model;
+//! * [`dist`] (`wp_dist`) — process-level shard planner, NDJSON worker
+//!   protocol and result merger for distributed sweeps.
 //!
 //! See the `examples/` directory for runnable entry points and the
 //! `wp-bench` crate for the experiment harness that regenerates every table
@@ -22,6 +24,7 @@
 
 pub use wp_area as area;
 pub use wp_core as core;
+pub use wp_dist as dist;
 pub use wp_floorplan as floorplan;
 pub use wp_netlist as netlist;
 pub use wp_proc as proc;
