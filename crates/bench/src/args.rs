@@ -12,15 +12,23 @@
 //!   work stays stealable regardless of the batch size.
 //!
 //! The sharding binaries (`table1`, `figure1`, `ablation_fifo`,
-//! `ablation_oracle`) additionally accept the process-sharding triple
+//! `ablation_oracle`) additionally accept the process-sharding flags
 //! ([`ShardArgs`], backed by `wp_dist`):
 //!
 //! * `--shards N` — the parent mode: fork `N` worker processes (one
 //!   contiguous submission-order range each, re-invoking the current
 //!   executable), merge their NDJSON results and print exactly what a
 //!   single-process run prints;
+//! * `--hosts hosts.conf` — the cross-machine parent mode: dispatch one
+//!   worker per hostfile entry through its declared transport
+//!   (`local`/`ssh`/`container`/`shell`), each sized by the host's
+//!   `capacity` weight, with failover to another host on a failed shard
+//!   (see the README's *Cross-machine sweeps*);
 //! * `--shard i/N` — the worker mode: run only shard `i`'s range and emit
 //!   NDJSON records (implies `--emit-ndjson`);
+//! * `--shard-range A..B` — an explicit submission-order range overriding
+//!   the uniform `i/N` split; the dispatching parent appends it so a
+//!   capacity-weighted worker runs exactly the rows its host was assigned;
 //! * `--emit-ndjson` — emit one machine-readable JSON record per result
 //!   row on stdout instead of the human-readable report.
 //!
@@ -29,9 +37,10 @@
 //! the binaries keep exiting with status 2 through [`ArgError::exit`].
 
 use std::fmt;
+use std::ops::Range;
 use std::process::Command;
 
-use wp_dist::{run_sharded, Json, ShardPlan, ShardSpec};
+use wp_dist::{load_hostfile, run_dispatched, run_sharded, Json, ShardPlan, ShardSpec};
 use wp_sim::SweepRunner;
 
 /// A malformed command line, as reported by [`flag_value`] and
@@ -169,15 +178,24 @@ impl SweepArgs {
     }
 }
 
-/// Parsed `--shards` / `--shard` / `--emit-ndjson` process-sharding flags
-/// (see the module docs for the protocol).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Parsed `--shards` / `--hosts` / `--shard` / `--shard-range` /
+/// `--emit-ndjson` process-sharding flags (see the module docs for the
+/// protocol).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardArgs {
     /// Worker-process count requested with `--shards N` (`0` and `1` both
     /// mean "run in this process").
     pub shards: usize,
+    /// Hostfile path requested with `--hosts PATH`: dispatch one worker
+    /// per declared host through its transport (cross-machine parent
+    /// mode).
+    pub hosts: Option<String>,
     /// This process's worker identity, when `--shard i/N` was given.
     pub shard: Option<ShardSpec>,
+    /// The explicit submission-order range from `--shard-range A..B`,
+    /// overriding the uniform `i/N` split (appended by a capacity-weighted
+    /// dispatching parent).
+    pub range: Option<Range<usize>>,
     /// Whether to emit NDJSON records instead of the human-readable report
     /// (`--emit-ndjson`, implied by `--shard`).
     pub emit_ndjson: bool,
@@ -202,8 +220,10 @@ impl ShardArgs {
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] on a malformed value or a `--shards`/`--shard`
-    /// combination.
+    /// Returns [`ArgError`] on a malformed value or a conflicting
+    /// combination (`--shards`/`--hosts`/`--shard` are mutually exclusive,
+    /// parent modes reject `--emit-ndjson`, and `--shard-range` is only
+    /// meaningful next to `--shard`).
     pub fn from_args(args: &[String]) -> Result<Self, ArgError> {
         let shards = match flag_value(args, "--shards")? {
             None => 0,
@@ -215,6 +235,7 @@ impl ShardArgs {
                 }
             })?,
         };
+        let hosts = flag_value(args, "--hosts")?;
         let shard = match flag_value(args, "--shard")? {
             None => None,
             Some(v) => Some(ShardSpec::parse(&v).map_err(|_| ArgError::InvalidValue {
@@ -223,56 +244,120 @@ impl ShardArgs {
                 expected: "i/N with i < N (e.g. 0/4)",
             })?),
         };
+        let range = match flag_value(args, "--shard-range")? {
+            None => None,
+            Some(v) => Some(parse_range(&v).ok_or_else(|| ArgError::InvalidValue {
+                flag: "--shard-range".to_string(),
+                value: v,
+                expected: "A..B with A <= B (e.g. 4..8)",
+            })?),
+        };
+        let conflict = |flag: &str, value: String, expected: &'static str| {
+            Err(ArgError::InvalidValue {
+                flag: flag.to_string(),
+                value,
+                expected,
+            })
+        };
         if shards > 1 && shard.is_some() {
-            return Err(ArgError::InvalidValue {
-                flag: "--shards".to_string(),
-                value: shards.to_string(),
-                expected: "to not be combined with --shard (workers are spawned by the parent)",
-            });
+            return conflict(
+                "--shards",
+                shards.to_string(),
+                "to not be combined with --shard (workers are spawned by the parent)",
+            );
+        }
+        if let Some(path) = &hosts {
+            if shards > 0 {
+                return conflict(
+                    "--hosts",
+                    path.clone(),
+                    "to not be combined with --shards (the hostfile sizes the fleet)",
+                );
+            }
+            if shard.is_some() {
+                return conflict(
+                    "--hosts",
+                    path.clone(),
+                    "to not be combined with --shard (the parent strips --hosts from worker \
+                     command lines)",
+                );
+            }
+        }
+        if range.is_some() && shard.is_none() {
+            return conflict(
+                "--shard-range",
+                "".to_string(),
+                "to be combined with --shard i/N (the dispatching parent appends both)",
+            );
         }
         let emit_ndjson = args.iter().any(|a| a == "--emit-ndjson");
-        if shards > 1 && emit_ndjson {
+        if (shards > 1 || hosts.is_some()) && emit_ndjson {
             // The parent merges and prints the human-readable report; a
             // forked NDJSON stream is not defined.  Rejecting here keeps
             // every binary's dispatch (`is_parent()` vs `emit_ndjson`)
             // unambiguous.
-            return Err(ArgError::InvalidValue {
-                flag: "--shards".to_string(),
-                value: shards.to_string(),
-                expected: "to not be combined with --emit-ndjson (drop --shards for NDJSON output)",
-            });
+            return conflict(
+                "--emit-ndjson",
+                "".to_string(),
+                "to not be combined with a parent mode (drop --shards/--hosts for NDJSON output)",
+            );
         }
         Ok(Self {
             shards,
+            hosts,
             shard,
+            range,
             emit_ndjson: emit_ndjson || shard.is_some(),
         })
     }
 
     /// Whether this invocation is the sharding parent (it should spawn
-    /// workers instead of sweeping itself).
+    /// workers instead of sweeping itself) — either the local `--shards N`
+    /// fork or the cross-machine `--hosts` dispatch.
     pub fn is_parent(&self) -> bool {
-        self.shards > 1 && self.shard.is_none()
+        self.shards > 1 || self.hosts.is_some()
     }
 
-    /// The argv for worker `shard`: this process's own arguments with any
-    /// `--shards` flag removed and `--shard i/N --emit-ndjson` appended.
-    pub fn worker_args(args: &[String], shard: ShardSpec) -> Vec<String> {
-        let mut out = Vec::with_capacity(args.len() + 3);
+    /// The submission-order range this worker runs, out of `n_items` total:
+    /// the explicit `--shard-range` when present (clamped to `n_items`),
+    /// else the uniform split of `--shard i/N`, else everything.
+    pub fn worker_range(&self, n_items: usize) -> Range<usize> {
+        if let Some(range) = &self.range {
+            return range.start.min(n_items)..range.end.min(n_items);
+        }
+        match self.shard {
+            Some(spec) => spec.range(n_items),
+            None => 0..n_items,
+        }
+    }
+
+    /// The argv for worker `shard`: this process's own arguments with the
+    /// parent-side flags (`--shards`, `--hosts`, stale `--shard` /
+    /// `--shard-range` / `--emit-ndjson`) removed and `--shard i/N
+    /// --shard-range A..B --emit-ndjson` appended.  The explicit range
+    /// makes the worker independent of how the parent planned the split
+    /// (uniform or capacity-weighted), and stripping `--hosts` guarantees
+    /// a dispatched worker never re-dispatches.
+    pub fn worker_args(args: &[String], shard: ShardSpec, range: &Range<usize>) -> Vec<String> {
+        const PARENT_FLAGS: [&str; 4] = ["--shards", "--shard", "--shard-range", "--hosts"];
+        let mut out = Vec::with_capacity(args.len() + 5);
         let mut skip_value = false;
         for arg in args {
             if skip_value {
                 skip_value = false;
                 continue;
             }
-            if arg == "--shards" || arg == "--shard" {
+            if PARENT_FLAGS.contains(&arg.as_str()) {
                 // The separate-value spelling: also drop the value token
                 // (unless it is the next flag, which `flag_value` would
                 // have rejected anyway).
                 skip_value = true;
                 continue;
             }
-            if arg.starts_with("--shards=") || arg.starts_with("--shard=") || arg == "--emit-ndjson"
+            if PARENT_FLAGS
+                .iter()
+                .any(|flag| arg.strip_prefix(flag).is_some_and(|r| r.starts_with('=')))
+                || arg == "--emit-ndjson"
             {
                 continue;
             }
@@ -280,47 +365,110 @@ impl ShardArgs {
         }
         out.push("--shard".to_string());
         out.push(shard.to_string());
+        out.push("--shard-range".to_string());
+        out.push(format!("{}..{}", range.start, range.end));
         out.push("--emit-ndjson".to_string());
         out
     }
 
     /// The parent side of a sharded experiment, shared by every sharding
-    /// binary: plans `n_items` result rows over `self.shards` contiguous
-    /// ranges, logs the fork to stderr (`noun` names a row, e.g. "table
-    /// row"; `gate` reports the equivalence gate, or `None` for binaries
-    /// without one), spawns one re-invocation of the current executable
-    /// per populated shard and returns the merged NDJSON records in
-    /// submission order.
+    /// binary: plans `n_items` result rows over contiguous ranges, logs
+    /// the fork to stderr (`noun` names a row, e.g. "table row"; `gate`
+    /// reports the equivalence gate, or `None` for binaries without one),
+    /// spawns one worker per populated shard and returns the merged NDJSON
+    /// records in submission order.
     ///
-    /// When the command line did not pin `--workers`, every worker is
-    /// handed an equal share of the machine's cores
-    /// (`available_parallelism / populated shards`, at least 1) so that a
-    /// forked sweep does not oversubscribe the CPU with
-    /// `shards × cores` threads.  Results are unaffected either way —
-    /// sweep outcomes are worker-count-independent.
+    /// With `--shards N` the split is uniform and every worker is a
+    /// re-invocation of the current executable on this machine; with
+    /// `--hosts hosts.conf` the split is weighted by each host's declared
+    /// capacity and every worker is launched through its host's transport
+    /// ([`wp_dist::run_dispatched`], with failover to another host when a
+    /// shard's first host fails).
+    ///
+    /// When the command line did not pin `--workers`, every worker that
+    /// executes on *this* machine — all of them in the local mode, and the
+    /// `local`/`shell` hosts of a dispatch
+    /// ([`wp_dist::Transport::runs_on_dispatcher`]) — is handed an equal
+    /// share of the machine's cores (`available_parallelism` divided by
+    /// the number of co-located workers, at least 1) so that a forked
+    /// sweep does not oversubscribe the CPU with `shards × cores` threads.
+    /// Workers on remote hosts (ssh, container) get no override: each
+    /// sizes its own sweep from its own machine's `available_parallelism`.
+    /// Results are unaffected either way — sweep outcomes are
+    /// worker-count-independent.
     ///
     /// # Errors
     ///
-    /// Propagates [`std::env::current_exe`] failures and any
-    /// [`wp_dist::DistError`] from the worker protocol.
+    /// Propagates [`std::env::current_exe`] failures, hostfile errors and
+    /// any [`wp_dist::DistError`] from the worker protocol.
     pub fn run_sharded_rows(
         &self,
         n_items: usize,
         noun: &str,
         gate: Option<bool>,
     ) -> Result<Vec<Json>, Box<dyn std::error::Error>> {
+        let gate_note = match gate {
+            Some(true) => ", equivalence gate on",
+            Some(false) => ", equivalence gate off",
+            None => "",
+        };
+        let exe = std::env::current_exe()?;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+
+        // DistErrors are surfaced as their Display text: a binary's `main`
+        // prints `Err` via Debug, which would bury the line-numbered
+        // hostfile messages in struct syntax.
+        if let Some(path) = &self.hosts {
+            let hosts = load_hostfile(path).map_err(|e| e.to_string())?;
+            let capacities: Vec<usize> = hosts.iter().map(|h| h.capacity).collect();
+            let plan = ShardPlan::split_weighted(n_items, &capacities);
+            eprintln!(
+                "dispatching {n_items} {noun}(s) across {} of {} host(s) from {path}{gate_note}",
+                plan.populated_shards().count(),
+                hosts.len(),
+            );
+            let default_binary = exe
+                .to_str()
+                .ok_or("the current executable path is not UTF-8; set binary= per host")?;
+            // Divide this machine's cores across the workers that run on
+            // it (shell/local hosts); remote hosts size their own sweeps.
+            // The share is keyed to the shard's *assigned* host: a
+            // failed-over shard keeps its argv, which at worst under- or
+            // over-threads one retry without affecting results.
+            let co_located = plan
+                .populated_shards()
+                .filter(|&s| hosts[s].transport.runs_on_dispatcher())
+                .count();
+            let workers_share = if flag_value(&args, "--workers")?.is_none() && co_located > 0 {
+                let cores = std::thread::available_parallelism().map_or(1, usize::from);
+                Some((cores / co_located).max(1))
+            } else {
+                None
+            };
+            let records = run_dispatched(&plan, &hosts, default_binary, |shard| {
+                let mut worker_args = Self::worker_args(
+                    &args,
+                    ShardSpec {
+                        index: shard,
+                        total: plan.shards(),
+                    },
+                    &plan.range(shard),
+                );
+                if let (Some(share), true) =
+                    (workers_share, hosts[shard].transport.runs_on_dispatcher())
+                {
+                    worker_args.push(format!("--workers={share}"));
+                }
+                worker_args
+            })
+            .map_err(|e| e.to_string())?;
+            return Ok(records);
+        }
+
         let plan = ShardPlan::split(n_items, self.shards);
         let workers = plan.populated_shards().count();
-        eprintln!(
-            "sharding {n_items} {noun}(s) across {workers} worker process(es){}",
-            match gate {
-                Some(true) => ", equivalence gate on",
-                Some(false) => ", equivalence gate off",
-                None => "",
-            },
-        );
-        let exe = std::env::current_exe()?;
-        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        eprintln!("sharding {n_items} {noun}(s) across {workers} worker process(es){gate_note}");
+        let mut args = args;
         if flag_value(&args, "--workers")?.is_none() {
             let cores = std::thread::available_parallelism().map_or(1, usize::from);
             let share = (cores / workers.max(1)).max(1);
@@ -334,11 +482,21 @@ impl ShardArgs {
                     index: shard,
                     total: plan.shards(),
                 },
+                &plan.range(shard),
             ));
             command
-        })?;
+        })
+        .map_err(|e| e.to_string())?;
         Ok(records)
     }
+}
+
+/// Parses the `A..B` spelling of `--shard-range` (`A <= B`).
+fn parse_range(value: &str) -> Option<Range<usize>> {
+    let (start, end) = value.split_once("..")?;
+    let start: usize = start.parse().ok()?;
+    let end: usize = end.parse().ok()?;
+    (start <= end).then_some(start..end)
 }
 
 #[cfg(test)]
@@ -486,12 +644,46 @@ mod tests {
             vec!["--shard", "2"],
             vec!["--shards", "2", "--shard", "0/2"],
             vec!["--shards", "2", "--emit-ndjson"],
+            vec!["--hosts", "hosts.conf", "--shards", "2"],
+            vec!["--hosts", "hosts.conf", "--shards", "1"],
+            vec!["--hosts", "hosts.conf", "--shard", "0/2"],
+            vec!["--hosts", "hosts.conf", "--emit-ndjson"],
+            vec!["--shard-range", "0..4"],
+            vec!["--shard", "0/2", "--shard-range", "4..0"],
+            vec!["--shard", "0/2", "--shard-range", "wide"],
         ] {
             assert!(
                 ShardArgs::from_args(&strings(&bad)).is_err(),
                 "accepted {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn hosts_flag_selects_the_dispatch_parent_mode() {
+        let args =
+            ShardArgs::from_args(&strings(&["--hosts", "fleet.conf", "--quick"])).expect("parses");
+        assert_eq!(args.hosts.as_deref(), Some("fleet.conf"));
+        assert!(args.is_parent());
+        assert!(!args.emit_ndjson);
+        assert_eq!(args.shards, 0);
+    }
+
+    #[test]
+    fn an_explicit_shard_range_overrides_the_uniform_split() {
+        let args = ShardArgs::from_args(&strings(&["--shard", "1/3", "--shard-range", "4..9"]))
+            .expect("parses");
+        assert_eq!(args.range, Some(4..9));
+        assert!(args.emit_ndjson);
+        // The explicit range wins over 1/3's uniform slice and clamps to
+        // the item count.
+        assert_eq!(args.worker_range(12), 4..9);
+        assert_eq!(args.worker_range(6), 4..6);
+
+        let uniform = ShardArgs::from_args(&strings(&["--shard", "1/3"])).expect("parses");
+        assert_eq!(uniform.worker_range(12), 4..8);
+        let whole = ShardArgs::from_args(&strings(&["--emit-ndjson"])).expect("parses");
+        assert_eq!(whole.worker_range(12), 0..12);
     }
 
     #[test]
@@ -506,21 +698,48 @@ mod tests {
             "--emit-ndjson",
         ]);
         assert_eq!(
-            ShardArgs::worker_args(&argv, spec),
+            ShardArgs::worker_args(&argv, spec, &(4..8)),
             strings(&[
                 "--quick",
                 "--verify",
                 "--workers=2",
                 "--shard",
                 "1/3",
+                "--shard-range",
+                "4..8",
                 "--emit-ndjson"
             ])
         );
-        // The equals spelling and stale --shard flags are stripped too.
-        let argv = strings(&["--shards=3", "--shard=0/9", "--quick"]);
+        // The equals spellings and stale worker flags are stripped too,
+        // including --hosts (a dispatched worker must never re-dispatch).
+        let argv = strings(&[
+            "--shards=3",
+            "--shard=0/9",
+            "--shard-range=0..2",
+            "--hosts=fleet.conf",
+            "--quick",
+            "--hosts",
+            "other.conf",
+        ]);
         assert_eq!(
-            ShardArgs::worker_args(&argv, spec),
-            strings(&["--quick", "--shard", "1/3", "--emit-ndjson"])
+            ShardArgs::worker_args(&argv, spec, &(4..8)),
+            strings(&[
+                "--quick",
+                "--shard",
+                "1/3",
+                "--shard-range",
+                "4..8",
+                "--emit-ndjson"
+            ])
         );
+    }
+
+    #[test]
+    fn parse_range_accepts_only_well_formed_ascending_ranges() {
+        assert_eq!(parse_range("4..8"), Some(4..8));
+        assert_eq!(parse_range("0..0"), Some(0..0));
+        for bad in ["", "4", "4..", "..8", "8..4", "a..b", "4..8..9"] {
+            assert_eq!(parse_range(bad), None, "{bad}");
+        }
     }
 }

@@ -9,8 +9,9 @@
 //! `--workers N` and `--batch N`.  Pass `--verify` to stream every run
 //! against its golden twin while it executes and print the proven
 //! equivalence prefix (N) per depth and policy.  The depth rows can be
-//! sharded across worker processes with `--shards N` (worker mode:
-//! `--shard i/N` / `--emit-ndjson`), merging to byte-identical output.
+//! sharded across worker processes with `--shards N` — or across machines
+//! with `--hosts hosts.conf` (worker mode: `--shard i/N` /
+//! `--emit-ndjson`), merging to byte-identical output.
 
 use wp_bench::{
     json_opt_usize, soc_scenario_with_config, sort_workload, with_soc_equivalence, ShardArgs,
@@ -118,10 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if shard.emit_ndjson {
         // Worker mode: row i owns scenarios 2i and 2i+1.
-        let rows = match shard.shard {
-            Some(spec) => spec.range(n_rows),
-            None => 0..n_rows,
-        };
+        let rows = shard.worker_range(n_rows);
         let outcomes: Vec<SweepOutcome<SocState>> = sweep
             .runner()
             .run_range(scenarios(verify), 2 * rows.start..2 * rows.end)

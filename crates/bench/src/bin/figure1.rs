@@ -6,8 +6,9 @@
 //! throughput of every single-link configuration — a 10-scenario
 //! `wp_sim::SweepRunner` sweep of the full processor.  The scheduler is
 //! controlled with `--workers N` and `--batch N`, and the measured sweep
-//! can be sharded across worker processes with `--shards N` (worker mode:
-//! `--shard i/N` / `--emit-ndjson`), merging to byte-identical output.
+//! can be sharded across worker processes with `--shards N` — or across
+//! machines with `--hosts hosts.conf` (worker mode: `--shard i/N` /
+//! `--emit-ndjson`), merging to byte-identical output.
 
 use wp_bench::{
     predict_wp1_throughput, soc_scenario, sort_workload, ShardArgs, SweepArgs, MAX_CYCLES,
@@ -86,10 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if shard.emit_ndjson {
         // Worker mode: run only this shard's link range, one NDJSON record
         // per link.
-        let range = match shard.shard {
-            Some(spec) => spec.range(n),
-            None => 0..n,
-        };
+        let range = shard.worker_range(n);
         let outcomes = sweep
             .runner()
             .run_range(link_scenarios(&workload), range.clone());

@@ -7,11 +7,14 @@
 //! the table rows can additionally be sharded across worker *processes*
 //! (`wp_dist`): `--shards N` re-invokes this executable once per contiguous
 //! row range, merges the NDJSON results and prints byte-identical output to
-//! a single-process run.
+//! a single-process run, and `--hosts hosts.conf` dispatches the same
+//! workers across machines (ssh/container/shell transports,
+//! capacity-weighted ranges, failover — see the README's *Cross-machine
+//! sweeps*).
 //!
 //! Usage: `table1 [--program sort|matmul|both] [--quick] [--verify]
-//! [--workers N] [--batch N] [--json PATH] [--shards N | --shard i/N]
-//! [--emit-ndjson]`
+//! [--workers N] [--batch N] [--json PATH]
+//! [--shards N | --hosts hosts.conf | --shard i/N] [--emit-ndjson]`
 //!
 //! `--quick` shrinks the workloads and the configuration sweep to a few
 //! seconds of wall-clock and writes the machine-readable report
@@ -213,10 +216,7 @@ fn run_local(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::erro
 /// contiguous global row range and emit one NDJSON record per row.
 fn run_worker(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::error::Error>> {
     let total: usize = specs.iter().map(|s| s.configs.len()).sum();
-    let range = match args.shard.shard {
-        Some(spec) => spec.range(total),
-        None => 0..total,
-    };
+    let range = args.shard.worker_range(total);
     let runner = args.sweep.runner();
     let mut offset = 0usize;
     for (table, spec) in specs.iter().enumerate() {

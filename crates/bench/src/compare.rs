@@ -1,0 +1,234 @@
+//! The perf-regression gate: compares a fresh `BENCH_table1.json` against
+//! the committed `BENCH_baseline.json`.
+//!
+//! CI runs `table1 --quick --verify` on every push and uploads the report,
+//! but until this gate nothing ever *read* the numbers — a kernel
+//! regression that halved every throughput would have shipped silently.
+//! [`compare_reports`] walks the baseline's tables and rows (matched by
+//! title and label) and fails when any throughput/speedup field of a fresh
+//! row drops more than `tolerance` below its baseline value, or when a
+//! baseline row/field has disappeared (shrinking coverage must be as loud
+//! as losing throughput).  Fresh-only rows and fields are allowed — adding
+//! coverage is not a regression.
+//!
+//! The wall-clock field is deliberately ignored: it measures the CI
+//! machine, not the kernels.  The gated fields are the per-row ratios
+//! (`th_wp1`, `th_wp2`, `th_wp1_predicted`, `improvement_percent`), which
+//! are machine-independent — any drop is a real behavioural change, not
+//! noise.  The `bench_compare` binary wraps this check for CI; see the
+//! README's *Refreshing the perf baseline* for the update procedure.
+
+use wp_dist::Json;
+
+/// The throughput/speedup members of a table row, in report order.  Only
+/// positive baseline values gate (a zero or negative baseline — e.g. the
+/// ideal row's 0% improvement — has no meaningful "25% below").
+const GATED_FIELDS: [&str; 4] = [
+    "th_wp1",
+    "th_wp2",
+    "th_wp1_predicted",
+    "improvement_percent",
+];
+
+/// The verdict of one baseline-vs-fresh comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// How many field values were actually gated.
+    pub compared: usize,
+    /// Every violation found, in report order: regressions past the
+    /// tolerance and baseline rows/fields missing from the fresh report.
+    pub failures: Vec<String>,
+}
+
+impl BenchComparison {
+    /// Whether the fresh report passed the gate.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares a fresh bench report against a baseline (see the module docs
+/// for the semantics).  `tolerance` is the allowed relative drop — `0.25`
+/// fails anything more than 25% below baseline.
+pub fn compare_reports(baseline: &Json, fresh: &Json, tolerance: f64) -> BenchComparison {
+    let mut result = BenchComparison {
+        compared: 0,
+        failures: Vec::new(),
+    };
+    let baseline_tables = member_arr(baseline, "tables");
+    if baseline_tables.is_empty() {
+        result
+            .failures
+            .push("the baseline report has no \"tables\" member — refresh the baseline".into());
+        return result;
+    }
+    let fresh_tables = member_arr(fresh, "tables");
+    for base_table in baseline_tables {
+        let title = base_table
+            .get("title")
+            .and_then(Json::as_str)
+            .unwrap_or("<untitled>");
+        let Some(fresh_table) = fresh_tables
+            .iter()
+            .find(|t| t.get("title").and_then(Json::as_str) == Some(title))
+        else {
+            result
+                .failures
+                .push(format!("table '{title}' is missing from the fresh report"));
+            continue;
+        };
+        compare_table(title, base_table, fresh_table, tolerance, &mut result);
+    }
+    result
+}
+
+fn compare_table(
+    title: &str,
+    baseline: &Json,
+    fresh: &Json,
+    tolerance: f64,
+    result: &mut BenchComparison,
+) {
+    let fresh_rows = member_arr(fresh, "rows");
+    for base_row in member_arr(baseline, "rows") {
+        let label = base_row
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("<unlabelled>");
+        let Some(fresh_row) = fresh_rows
+            .iter()
+            .find(|r| r.get("label").and_then(Json::as_str) == Some(label))
+        else {
+            result.failures.push(format!(
+                "row '{label}' of table '{title}' is missing from the fresh report"
+            ));
+            continue;
+        };
+        for field in GATED_FIELDS {
+            let Some(base) = base_row.get(field).and_then(Json::as_f64) else {
+                continue; // The baseline never gated this field.
+            };
+            if base <= 0.0 {
+                continue;
+            }
+            let Some(value) = fresh_row.get(field).and_then(Json::as_f64) else {
+                result.failures.push(format!(
+                    "'{label}' ({title}): field '{field}' is missing from the fresh report"
+                ));
+                continue;
+            };
+            result.compared += 1;
+            if value < base * (1.0 - tolerance) {
+                result.failures.push(format!(
+                    "'{label}' ({title}): {field} dropped {:.1}% below baseline \
+                     ({value:.4} vs {base:.4}, tolerance {:.0}%)",
+                    100.0 * (base - value) / base,
+                    100.0 * tolerance,
+                ));
+            }
+        }
+    }
+}
+
+/// An object member's array elements, borrowed; empty for missing members
+/// and non-arrays.
+fn member_arr<'a>(value: &'a Json, key: &str) -> &'a [Json] {
+    value.get(key).and_then(Json::as_arr).unwrap_or(&[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &str) -> Json {
+        Json::parse(&format!(
+            "{{\"bench\": \"table1\", \"wall_seconds\": 1.0, \"tables\": [\
+             {{\"title\": \"upper\", \"rows\": [{rows}]}}]}}"
+        ))
+        .expect("test report parses")
+    }
+
+    fn row(label: &str, th_wp1: f64, th_wp2: f64) -> String {
+        format!(
+            "{{\"label\": \"{label}\", \"th_wp1\": {th_wp1}, \"th_wp2\": {th_wp2}, \
+             \"th_wp1_predicted\": 0.5, \"improvement_percent\": 10.0}}"
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass_and_count_the_gated_fields() {
+        let base = report(&row("ideal", 1.0, 1.0));
+        let result = compare_reports(&base, &base, 0.25);
+        assert!(result.passed(), "{:?}", result.failures);
+        assert_eq!(result.compared, 4);
+    }
+
+    #[test]
+    fn a_drop_within_tolerance_passes_and_beyond_fails() {
+        let base = report(&row("r", 0.8, 0.9));
+        let ok = report(&row("r", 0.8 * 0.76, 0.9));
+        assert!(compare_reports(&base, &ok, 0.25).passed());
+        let bad = report(&row("r", 0.8 * 0.74, 0.9));
+        let result = compare_reports(&base, &bad, 0.25);
+        assert_eq!(result.failures.len(), 1);
+        assert!(result.failures[0].contains("th_wp1"), "{result:?}");
+        assert!(result.failures[0].contains("'r' (upper)"), "{result:?}");
+    }
+
+    #[test]
+    fn improvements_and_new_rows_are_not_regressions() {
+        let base = report(&row("r", 0.5, 0.6));
+        let fresh = report(&format!(
+            "{}, {}",
+            row("r", 0.9, 0.95),
+            row("new", 0.1, 0.1)
+        ));
+        assert!(compare_reports(&base, &fresh, 0.25).passed());
+    }
+
+    #[test]
+    fn missing_rows_tables_and_fields_fail_loudly() {
+        let base = report(&format!("{}, {}", row("a", 0.5, 0.6), row("b", 0.5, 0.6)));
+        let fresh = report(&row("a", 0.5, 0.6));
+        let result = compare_reports(&base, &fresh, 0.25);
+        assert_eq!(result.failures.len(), 1);
+        assert!(result.failures[0].contains("row 'b'"), "{result:?}");
+
+        let fresh = Json::parse("{\"tables\": []}").unwrap();
+        let result = compare_reports(&base, &fresh, 0.25);
+        assert!(result.failures[0].contains("table 'upper'"), "{result:?}");
+
+        let fresh = report("{\"label\": \"a\", \"th_wp2\": 0.6}");
+        let result = compare_reports(&base, &fresh, 0.25);
+        assert!(
+            result.failures.iter().any(|f| f.contains("field 'th_wp1'")),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn zero_baselines_are_not_gated() {
+        // The ideal row's improvement is 0% — "25% below zero" is
+        // meaningless and must not divide by zero or fail spuriously.
+        let base = report(
+            "{\"label\": \"ideal\", \"th_wp1\": 1.0, \"th_wp2\": 1.0, \
+             \"th_wp1_predicted\": 1.0, \"improvement_percent\": 0.0}",
+        );
+        let fresh = report(
+            "{\"label\": \"ideal\", \"th_wp1\": 1.0, \"th_wp2\": 1.0, \
+             \"th_wp1_predicted\": 1.0, \"improvement_percent\": -5.0}",
+        );
+        let result = compare_reports(&base, &fresh, 0.25);
+        assert!(result.passed(), "{:?}", result.failures);
+        assert_eq!(result.compared, 3, "improvement_percent was skipped");
+    }
+
+    #[test]
+    fn an_empty_baseline_is_itself_a_failure() {
+        let empty = Json::parse("{}").unwrap();
+        let fresh = report(&row("r", 1.0, 1.0));
+        let result = compare_reports(&empty, &fresh, 0.25);
+        assert!(!result.passed());
+        assert!(result.failures[0].contains("baseline"), "{result:?}");
+    }
+}

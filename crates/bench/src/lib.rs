@@ -8,9 +8,11 @@
 #![warn(missing_docs)]
 
 mod args;
+mod compare;
 mod json;
 
 pub use args::{flag_value, ArgError, ShardArgs, SweepArgs};
+pub use compare::{compare_reports, BenchComparison};
 pub use json::{
     bench_report_json, json_f64, json_opt_usize, json_string, table_row_from_json,
     table_row_ndjson, BenchTable,

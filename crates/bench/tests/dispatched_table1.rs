@@ -1,0 +1,150 @@
+//! End-to-end proof of the cross-machine acceptance criterion: `table1
+//! --quick --verify --hosts <2 shell fake hosts>` (real dispatched worker
+//! processes) produces byte-identical table output and `BENCH_table1.json`
+//! (modulo the wall-time field) to the in-process run — including when the
+//! first host always fails and its shard must fail over to the second.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs the real `table1` binary and returns (stdout, report JSON).
+fn run_table1(extra: &[&str], json_path: &std::path::Path) -> (String, String) {
+    let json = json_path.to_str().expect("utf-8 temp path");
+    let output = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["--quick", "--verify", "--json", json])
+        .args(extra)
+        .output()
+        .expect("table1 runs");
+    assert!(
+        output.status.success(),
+        "table1 {extra:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 table output");
+    let report = std::fs::read_to_string(json_path).expect("report was written");
+    (stdout, report)
+}
+
+/// The report with its wall-clock line dropped (the only field a
+/// dispatched run is allowed to differ in).
+fn without_wall_time(report: &str) -> String {
+    report
+        .lines()
+        .filter(|line| !line.contains("\"wall_seconds\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn temp_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "wp_bench_dispatched_{tag}_{}.{ext}",
+        std::process::id()
+    ))
+}
+
+fn write_hostfile(tag: &str, text: &str) -> PathBuf {
+    let path = temp_path(tag, "conf");
+    std::fs::write(&path, text).expect("hostfile written");
+    path
+}
+
+#[test]
+fn two_shell_fake_hosts_reproduce_the_in_process_run_byte_for_byte() {
+    let hosts = write_hostfile(
+        "pair",
+        "# two fake hosts on this machine, equal shares\n\
+         fake0 shell capacity=1\n\
+         fake1 shell capacity=1\n",
+    );
+    let json_ref = temp_path("ref", "json");
+    let json_hosts = temp_path("hosts", "json");
+    let (stdout_ref, report_ref) = run_table1(&[], &json_ref);
+    let (stdout_hosts, report_hosts) =
+        run_table1(&["--hosts", hosts.to_str().unwrap()], &json_hosts);
+    let _ = std::fs::remove_file(&json_ref);
+    let _ = std::fs::remove_file(&json_hosts);
+    let _ = std::fs::remove_file(&hosts);
+
+    assert_eq!(
+        stdout_ref, stdout_hosts,
+        "dispatched table output must be byte-identical"
+    );
+    assert_ne!(report_hosts, "", "the report was written");
+    assert_eq!(
+        without_wall_time(&report_ref),
+        without_wall_time(&report_hosts),
+        "dispatched reports must be identical modulo wall time"
+    );
+}
+
+/// The failover acceptance criterion, end to end: the first host always
+/// fails, so its shard completes on the second host — and the merged
+/// output is still byte-identical.
+#[test]
+fn an_always_failing_first_host_fails_over_and_stays_byte_identical() {
+    let hosts = write_hostfile(
+        "failover",
+        "sick shell capacity=1 prefix=\"exit 1 #\"\n\
+         well shell capacity=1\n",
+    );
+    let json_ref = temp_path("failover_ref", "json");
+    let json_hosts = temp_path("failover_hosts", "json");
+    let (stdout_ref, report_ref) = run_table1(&["--program", "sort"], &json_ref);
+    let (stdout_hosts, report_hosts) = run_table1(
+        &["--program", "sort", "--hosts", hosts.to_str().unwrap()],
+        &json_hosts,
+    );
+    let _ = std::fs::remove_file(&json_ref);
+    let _ = std::fs::remove_file(&json_hosts);
+    let _ = std::fs::remove_file(&hosts);
+
+    assert_eq!(stdout_ref, stdout_hosts, "failover must not change output");
+    assert_eq!(
+        without_wall_time(&report_ref),
+        without_wall_time(&report_hosts)
+    );
+}
+
+/// When every host is sick the run dies loudly, naming the exhaustion.
+#[test]
+fn a_fleet_of_dead_hosts_fails_loudly() {
+    let hosts = write_hostfile(
+        "dead",
+        "dead0 shell capacity=1 prefix=\"exit 1 #\"\n\
+         dead1 shell capacity=1 prefix=\"exit 2 #\"\n",
+    );
+    let output = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args([
+            "--quick",
+            "--program",
+            "sort",
+            "--hosts",
+            hosts.to_str().unwrap(),
+        ])
+        .output()
+        .expect("table1 runs");
+    let _ = std::fs::remove_file(&hosts);
+    assert!(!output.status.success(), "no host could run anything");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("exhausted"),
+        "stderr names the exhaustion:\n{stderr}"
+    );
+}
+
+/// A malformed hostfile is an immediate, line-numbered error.
+#[test]
+fn a_malformed_hostfile_names_its_offending_line() {
+    let hosts = write_hostfile("bad", "ok shell capacity=1\nbad teleport capacity=1\n");
+    let output = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["--quick", "--hosts", hosts.to_str().unwrap()])
+        .output()
+        .expect("table1 runs");
+    let _ = std::fs::remove_file(&hosts);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("line 2") && stderr.contains("teleport"),
+        "stderr names the line:\n{stderr}"
+    );
+}

@@ -1,0 +1,394 @@
+//! The hand-rolled hostfile parser behind `--hosts hosts.conf`.
+//!
+//! A hostfile declares the machines of a cross-machine sweep, one host per
+//! line (blank lines and `#` comments ignored):
+//!
+//! ```text
+//! # name   transport   key=value ...
+//! here     local       capacity=4
+//! big0     ssh         capacity=16 binary=/opt/wp/table1 host=user@big0
+//! box      container   capacity=8  binary=/usr/local/bin/table1 image=wp-soc:latest engine=podman
+//! fake     shell       capacity=1  prefix="exit 1 #"
+//! ```
+//!
+//! * `name` — unique label, used in logs and failover messages.  For `ssh`
+//!   hosts it doubles as the destination unless `host=` overrides it.
+//! * `transport` — `local`, `ssh`, `container` or `shell` (see
+//!   [`crate::Transport`]).
+//! * `capacity=N` — **required**, `N ≥ 1`: the host's relative share of the
+//!   sweep ([`crate::ShardPlan::split_weighted`]).
+//! * `binary=PATH` — the worker binary path on that host.  **Required**
+//!   for `ssh` and `container` (the parent's local path is meaningless
+//!   there); optional for `local`/`shell`, which default to the parent's
+//!   own executable.
+//! * `host=DEST` (`ssh` only) — destination override (`user@addr`, alias).
+//! * `image=IMG` (`container`, required), `engine=docker|podman`
+//!   (`container`, default `docker`).
+//! * `prefix=TEXT` (`shell` only) — the `sh -c` prefix; quote values with
+//!   spaces: `prefix="exit 1 #"`.
+//!
+//! Like `wp_dist::json`, the parser is hand-rolled (the workspace builds
+//! without registry access — no serde) and fails loudly: every violation
+//! yields a [`DistError::Hostfile`] naming the offending line.
+
+use crate::proto::DistError;
+use crate::transport::{Container, LocalProcess, ShellTransport, Ssh, Transport};
+
+/// One declared host of a cross-machine sweep: its unique name, its share
+/// of the work, the worker binary path on that host (when it differs from
+/// the parent's executable) and the launcher that reaches it.
+#[derive(Debug)]
+pub struct Host {
+    /// Unique host label (logs, failover messages).
+    pub name: String,
+    /// Relative capacity weight (`≥ 1`): this host's share of the sweep.
+    pub capacity: usize,
+    /// Worker binary path on this host; `None` means the parent's own
+    /// executable (only valid for transports sharing its filesystem).
+    pub binary: Option<String>,
+    /// The launcher that runs a command line on this host.
+    pub transport: Box<dyn Transport>,
+}
+
+impl Host {
+    /// Builds the OS command that runs the worker with `args` on this host:
+    /// the host's `binary` (or `default_binary` when unset) plus `args`,
+    /// wrapped by the host's transport.
+    pub fn worker_command(&self, default_binary: &str, args: &[String]) -> std::process::Command {
+        let mut argv = Vec::with_capacity(args.len() + 1);
+        argv.push(
+            self.binary
+                .clone()
+                .unwrap_or_else(|| default_binary.to_string()),
+        );
+        argv.extend_from_slice(args);
+        self.transport.command(&argv)
+    }
+}
+
+/// Reads and parses a hostfile from disk.
+///
+/// # Errors
+///
+/// Returns [`DistError::HostfileIo`] when the file cannot be read and
+/// [`DistError::Hostfile`] (naming the offending line) on any syntax or
+/// validation error — see [`parse_hostfile`].
+pub fn load_hostfile(path: &str) -> Result<Vec<Host>, DistError> {
+    let text = std::fs::read_to_string(path).map_err(|source| DistError::HostfileIo {
+        path: path.to_string(),
+        source,
+    })?;
+    parse_hostfile(&text)
+}
+
+/// Parses hostfile text (see the module docs for the format).
+///
+/// # Errors
+///
+/// Returns [`DistError::Hostfile`] naming the 1-based offending line for:
+/// an unknown transport name, a duplicate host name, a zero or absent
+/// `capacity`, a missing `binary` on an `ssh`/`container` host, an unknown
+/// or duplicate key, an unterminated quote, or an empty hostfile.
+pub fn parse_hostfile(text: &str) -> Result<Vec<Host>, DistError> {
+    let mut hosts: Vec<Host> = Vec::new();
+    for (number, raw) in text.lines().enumerate() {
+        let number = number + 1;
+        let err = |message: String| DistError::Hostfile {
+            line: number,
+            message,
+        };
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens = split_fields(line).map_err(err)?;
+        let (name, transport_name) = match (tokens.first(), tokens.get(1)) {
+            (Some(n), Some(t)) => (n.clone(), t.clone()),
+            _ => {
+                return Err(err(
+                    "expected '<name> <transport> key=value ...'".to_string()
+                ))
+            }
+        };
+        if hosts.iter().any(|h| h.name == name) {
+            return Err(err(format!("duplicate host name '{name}'")));
+        }
+
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for token in &tokens[2..] {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected key=value, got '{token}'")))?;
+            if pairs.iter().any(|(k, _)| k == key) {
+                return Err(err(format!("duplicate key '{key}'")));
+            }
+            pairs.push((key.to_string(), value.to_string()));
+        }
+        let mut take = |key: &str| -> Option<String> {
+            pairs
+                .iter()
+                .position(|(k, _)| k == key)
+                .map(|i| pairs.remove(i).1)
+        };
+
+        let capacity = match take("capacity") {
+            None => {
+                return Err(err(format!(
+                    "host '{name}' is missing capacity=N (every host must declare its share)"
+                )))
+            }
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    return Err(err(format!(
+                        "host '{name}' has capacity '{v}'; expected a positive integer"
+                    )))
+                }
+            },
+        };
+        let binary = take("binary");
+
+        let transport: Box<dyn Transport> = match transport_name.as_str() {
+            "local" => Box::new(LocalProcess),
+            "ssh" => {
+                if binary.is_none() {
+                    return Err(err(format!(
+                        "ssh host '{name}' is missing binary=PATH (the parent's local \
+                         executable path is meaningless on a remote machine)"
+                    )));
+                }
+                Box::new(Ssh {
+                    destination: take("host").unwrap_or_else(|| name.clone()),
+                })
+            }
+            "container" => {
+                if binary.is_none() {
+                    return Err(err(format!(
+                        "container host '{name}' is missing binary=PATH (the worker path \
+                         inside the image)"
+                    )));
+                }
+                let image = take("image")
+                    .ok_or_else(|| err(format!("container host '{name}' is missing image=IMG")))?;
+                let engine = take("engine").unwrap_or_else(|| "docker".to_string());
+                if engine != "docker" && engine != "podman" {
+                    return Err(err(format!(
+                        "container host '{name}' has engine '{engine}'; expected docker or podman"
+                    )));
+                }
+                Box::new(Container { engine, image })
+            }
+            "shell" => Box::new(ShellTransport {
+                prefix: take("prefix").unwrap_or_default(),
+            }),
+            other => {
+                return Err(err(format!(
+                    "unknown transport '{other}' for host '{name}'; expected local, ssh, \
+                     container or shell"
+                )))
+            }
+        };
+        if let Some((key, _)) = pairs.first() {
+            return Err(err(format!(
+                "unknown key '{key}' for {transport_name} host '{name}'"
+            )));
+        }
+
+        hosts.push(Host {
+            name,
+            capacity,
+            binary,
+            transport,
+        });
+    }
+    if hosts.is_empty() {
+        return Err(DistError::Hostfile {
+            line: 0,
+            message: "the hostfile declares no hosts".to_string(),
+        });
+    }
+    Ok(hosts)
+}
+
+/// Splits a hostfile line into whitespace-separated fields, honouring
+/// double quotes (`prefix="exit 1 #"` is one field with the quotes
+/// stripped).  Returns a message (no line number — the caller attaches it)
+/// on an unterminated quote.
+fn split_fields(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut has_field = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                has_field = true;
+            }
+            c if c.is_whitespace() && !in_quotes => {
+                if has_field {
+                    fields.push(std::mem::take(&mut current));
+                    has_field = false;
+                }
+            }
+            c => {
+                current.push(c);
+                has_field = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated '\"' quote".to_string());
+    }
+    if has_field {
+        fields.push(current);
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_of(err: DistError) -> (usize, String) {
+        match err {
+            DistError::Hostfile { line, message } => (line, message),
+            other => panic!("expected Hostfile error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parses_every_transport_with_comments_and_blanks() {
+        let hosts = parse_hostfile(
+            "# fleet\n\
+             here   local     capacity=4\n\
+             \n\
+             big0   ssh       capacity=16 binary=/opt/wp/table1 host=user@big0\n\
+             box    container capacity=8 binary=/usr/local/bin/table1 image=wp-soc engine=podman\n\
+             fake   shell     capacity=1 prefix=\"exit 1 #\"\n",
+        )
+        .expect("parses");
+        assert_eq!(hosts.len(), 4);
+        assert_eq!(
+            hosts.iter().map(|h| h.name.as_str()).collect::<Vec<_>>(),
+            ["here", "big0", "box", "fake"]
+        );
+        assert_eq!(
+            hosts.iter().map(|h| h.capacity).collect::<Vec<_>>(),
+            [4, 16, 8, 1]
+        );
+        assert_eq!(hosts[0].binary, None);
+        assert_eq!(hosts[1].binary.as_deref(), Some("/opt/wp/table1"));
+        assert_eq!(hosts[0].transport.describe(), "local");
+        assert_eq!(hosts[1].transport.describe(), "ssh user@big0");
+        assert_eq!(hosts[2].transport.describe(), "podman wp-soc");
+        assert_eq!(hosts[3].transport.describe(), "shell (exit 1 #)");
+    }
+
+    #[test]
+    fn ssh_destination_defaults_to_the_host_name() {
+        let hosts = parse_hostfile("big1 ssh capacity=2 binary=/opt/wp/table1\n").unwrap();
+        assert_eq!(hosts[0].transport.describe(), "ssh big1");
+    }
+
+    #[test]
+    fn worker_command_prefers_the_host_binary_over_the_default() {
+        let hosts = parse_hostfile(
+            "a local capacity=1\n\
+             b local capacity=1 binary=/opt/elsewhere/table1\n",
+        )
+        .unwrap();
+        let args = vec!["--quick".to_string()];
+        let cmd = hosts[0].worker_command("/exe/table1", &args);
+        assert_eq!(cmd.get_program().to_string_lossy(), "/exe/table1");
+        let cmd = hosts[1].worker_command("/exe/table1", &args);
+        assert_eq!(cmd.get_program().to_string_lossy(), "/opt/elsewhere/table1");
+    }
+
+    #[test]
+    fn unknown_transport_names_the_offending_line() {
+        let err = parse_hostfile("ok local capacity=1\nbad rsh capacity=1\n").unwrap_err();
+        let (line, message) = line_of(err);
+        assert_eq!(line, 2);
+        assert!(message.contains("unknown transport 'rsh'"), "{message}");
+    }
+
+    #[test]
+    fn duplicate_host_names_name_the_offending_line() {
+        let err =
+            parse_hostfile("twin local capacity=1\n# spacer\ntwin shell capacity=2\n").unwrap_err();
+        let (line, message) = line_of(err);
+        assert_eq!(line, 3);
+        assert!(message.contains("duplicate host name 'twin'"), "{message}");
+    }
+
+    #[test]
+    fn zero_and_absent_capacity_name_the_offending_line() {
+        let err = parse_hostfile("a local capacity=0\n").unwrap_err();
+        let (line, message) = line_of(err);
+        assert_eq!(line, 1);
+        assert!(message.contains("capacity '0'"), "{message}");
+
+        let err = parse_hostfile("ok local capacity=1\nb local\n").unwrap_err();
+        let (line, message) = line_of(err);
+        assert_eq!(line, 2);
+        assert!(message.contains("missing capacity=N"), "{message}");
+
+        let err = parse_hostfile("c local capacity=lots\n").unwrap_err();
+        let (line, message) = line_of(err);
+        assert_eq!(line, 1);
+        assert!(message.contains("capacity 'lots'"), "{message}");
+    }
+
+    #[test]
+    fn missing_binary_path_names_the_offending_line() {
+        let err = parse_hostfile("big ssh capacity=4\n").unwrap_err();
+        let (line, message) = line_of(err);
+        assert_eq!(line, 1);
+        assert!(message.contains("missing binary=PATH"), "{message}");
+
+        let err = parse_hostfile("box container capacity=4 image=wp-soc\n").unwrap_err();
+        let (line, message) = line_of(err);
+        assert_eq!(line, 1);
+        assert!(message.contains("missing binary=PATH"), "{message}");
+    }
+
+    #[test]
+    fn container_validation_covers_image_and_engine() {
+        let err = parse_hostfile("box container capacity=1 binary=/b\n").unwrap_err();
+        assert!(line_of(err).1.contains("missing image=IMG"));
+        let err =
+            parse_hostfile("box container capacity=1 binary=/b image=i engine=lxc\n").unwrap_err();
+        assert!(line_of(err).1.contains("engine 'lxc'"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_their_line_number() {
+        for (text, needle) in [
+            ("lonely\n", "expected '<name> <transport>"),
+            ("a local capacity=1 extra\n", "expected key=value"),
+            ("a local capacity=1 capacity=2\n", "duplicate key"),
+            ("a local capacity=1 color=red\n", "unknown key 'color'"),
+            ("a shell capacity=1 prefix=\"oops\n", "unterminated"),
+            ("", "declares no hosts"),
+        ] {
+            let err = parse_hostfile(text).unwrap_err();
+            let (_, message) = line_of(err);
+            assert!(message.contains(needle), "{text:?}: {message}");
+        }
+    }
+
+    #[test]
+    fn quoted_prefixes_keep_spaces_and_strip_quotes() {
+        let hosts =
+            parse_hostfile("f shell capacity=1 prefix=\"echo one two;\"\n").expect("parses");
+        assert_eq!(hosts[0].transport.describe(), "shell (echo one two;)");
+    }
+
+    #[test]
+    fn load_hostfile_surfaces_io_errors_with_the_path() {
+        let err = load_hostfile("/nonexistent/hosts.conf").unwrap_err();
+        assert!(matches!(err, DistError::HostfileIo { .. }), "{err}");
+        assert!(err.to_string().contains("/nonexistent/hosts.conf"));
+    }
+}

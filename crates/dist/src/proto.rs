@@ -20,6 +20,7 @@ use std::io;
 use std::ops::Range;
 use std::process::{Command, Stdio};
 
+use crate::hostfile::Host;
 use crate::json::{Json, JsonError};
 use crate::plan::ShardPlan;
 
@@ -119,6 +120,31 @@ pub enum DistError {
         /// The indices it actually reported, in output order.
         got: Vec<usize>,
     },
+    /// A malformed hostfile (`--hosts`).
+    Hostfile {
+        /// The 1-based offending line (0 when the file as a whole is the
+        /// problem, e.g. it declares no hosts).
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The hostfile could not be read.
+    HostfileIo {
+        /// The path given.
+        path: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// A dispatched shard failed on its assigned host *and* on every
+    /// failover host ([`run_dispatched`]).
+    HostsExhausted {
+        /// The failing shard.
+        shard: usize,
+        /// How many distinct hosts were tried.
+        hosts: usize,
+        /// The error of the last attempt.
+        last: Box<DistError>,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -150,6 +176,20 @@ impl fmt::Display for DistError {
                 "shard {shard}: expected exactly indices {}..{}, got {got:?}",
                 expected.start, expected.end
             ),
+            DistError::Hostfile { line, message } => {
+                if *line == 0 {
+                    write!(f, "hostfile: {message}")
+                } else {
+                    write!(f, "hostfile line {line}: {message}")
+                }
+            }
+            DistError::HostfileIo { path, source } => {
+                write!(f, "hostfile '{path}': {source}")
+            }
+            DistError::HostsExhausted { shard, hosts, last } => write!(
+                f,
+                "shard {shard}: all {hosts} host(s) exhausted; last error: {last}"
+            ),
         }
     }
 }
@@ -158,6 +198,8 @@ impl std::error::Error for DistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DistError::Spawn { source, .. } => Some(source),
+            DistError::HostfileIo { source, .. } => Some(source),
+            DistError::HostsExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -257,7 +299,10 @@ fn validate_shard(
 /// protocol pipes its stdout and leaves stderr inherited, so worker
 /// progress messages still reach the terminal.  All first attempts run
 /// concurrently; every failed shard is then retried **once**, sequentially,
-/// and a second failure aborts the run with the shard's error.
+/// and a second failure aborts the run with the shard's error.  The retry
+/// re-runs the identical command on the same launcher — when several
+/// machines are available, use [`run_dispatched`], whose retry fails over
+/// to a *different* host.
 ///
 /// On success the returned vector has exactly `plan.items()` entries — the
 /// full record object of each submission index, in submission order — so
@@ -277,16 +322,138 @@ pub fn run_sharded(
         command.spawn()
     };
 
-    // First wave: all populated shards in flight concurrently.  Each
-    // child's stdout is drained by its own thread — draining them one
-    // after the other would let a not-yet-waited worker fill its OS pipe
-    // buffer and block mid-sweep, serialising the wave.
+    let failed = first_wave(plan, |shard| spawn(shard, &mut make_command), &mut slots);
+
+    // Retry wave: one bounded retry per failed shard, sequentially (a lone
+    // child's pipe is drained to EOF by `wait_with_output`, so no second
+    // thread is needed here).
+    for (shard, first_error) in failed {
+        eprintln!("wp_dist: {first_error}; retrying shard {shard} once");
+        let expected = plan.range(shard);
+        let child = spawn(shard, &mut make_command);
+        let output = collect_output(shard, child)?;
+        let records = validate_shard(shard, &expected, output)?;
+        install(&mut slots, records);
+    }
+
+    Ok(merged(slots))
+}
+
+/// Spawns one worker per populated shard of `plan` across `hosts` —
+/// shard `s` on host `s` — with **failover on retry**: a shard that fails
+/// on its assigned host is re-dispatched to each *other* host in turn
+/// (wrapping round-robin from the failed one) before the run is declared
+/// dead, so one sick machine cannot kill a sweep that another could
+/// finish.  Only when every host has been tried does the shard's
+/// [`DistError::HostsExhausted`] abort the run.  With a single host there
+/// is no alternative: the shard is retried once on the same host,
+/// matching [`run_sharded`]'s bounded retry.
+///
+/// `plan` must have exactly one shard per host (build it with
+/// [`ShardPlan::split_weighted`] over the host capacities so each
+/// machine's share matches its declared weight).  `make_args` builds the
+/// worker's *argument list* for a shard — the program path is the host's
+/// own (`Host::worker_command`, falling back to `default_binary`), because
+/// a remote machine or container image keeps the binary at its own path.
+/// The argument list depends only on the shard, never on the host, so a
+/// failed-over shard re-runs identical work and the merge stays
+/// bit-identical to a single-process run.
+///
+/// Validation and merge semantics are exactly [`run_sharded`]'s: stdout is
+/// piped (stderr inherited), each worker must report exactly its planned
+/// index set, and the payloads land in submission order.
+///
+/// # Errors
+///
+/// Returns [`DistError::HostsExhausted`] (wrapping the last attempt's
+/// error) for the first shard that failed on every host.
+///
+/// # Panics
+///
+/// Panics if `plan.shards() != hosts.len()` or `hosts` is empty — the
+/// caller builds the plan from the host list, so a mismatch is a bug.
+pub fn run_dispatched(
+    plan: &ShardPlan,
+    hosts: &[Host],
+    default_binary: &str,
+    make_args: impl Fn(usize) -> Vec<String>,
+) -> Result<Vec<Json>, DistError> {
+    assert!(
+        plan.shards() == hosts.len() && !hosts.is_empty(),
+        "the plan must have exactly one shard per host ({} shards, {} hosts)",
+        plan.shards(),
+        hosts.len()
+    );
+    let mut slots: Vec<Option<Json>> = (0..plan.items()).map(|_| None).collect();
+    let spawn_on = |shard: usize, host: &Host| {
+        let mut command = host.worker_command(default_binary, &make_args(shard));
+        command.stdout(Stdio::piped());
+        command.spawn()
+    };
+    let attempt = |shard: usize, host: &Host| -> Result<Vec<ShardRecord>, DistError> {
+        let output = collect_output(shard, spawn_on(shard, host))?;
+        validate_shard(shard, &plan.range(shard), output)
+    };
+
+    let failed = first_wave(plan, |shard| spawn_on(shard, &hosts[shard]), &mut slots);
+
+    // Failover wave, sequentially: each failed shard is re-dispatched to
+    // the other hosts in wrapping order (never back to the one that just
+    // failed unless it is the only host).
+    for (shard, first_error) in failed {
+        let mut last_error = first_error;
+        let candidates: Vec<usize> = if hosts.len() == 1 {
+            vec![shard]
+        } else {
+            (1..hosts.len())
+                .map(|k| (shard + k) % hosts.len())
+                .collect()
+        };
+        let mut recovered = false;
+        for candidate in &candidates {
+            let host = &hosts[*candidate];
+            eprintln!(
+                "wp_dist: {last_error}; re-dispatching shard {shard} to host '{}' ({})",
+                host.name,
+                host.transport.describe()
+            );
+            match attempt(shard, host) {
+                Ok(records) => {
+                    install(&mut slots, records);
+                    recovered = true;
+                    break;
+                }
+                Err(error) => last_error = error,
+            }
+        }
+        if !recovered {
+            return Err(DistError::HostsExhausted {
+                shard,
+                hosts: hosts.len(),
+                last: Box::new(last_error),
+            });
+        }
+    }
+
+    Ok(merged(slots))
+}
+
+/// The concurrent first wave shared by [`run_sharded`] and
+/// [`run_dispatched`]: spawns every populated shard via `spawn` (which
+/// must pipe stdout), drains each child's stdout on its own thread —
+/// draining them one after the other would let a not-yet-waited worker
+/// fill its OS pipe buffer and block mid-sweep, serialising the wave —
+/// validates the outputs, lands the good records in `slots` and returns
+/// the failed shards with their errors, in shard order, for the caller's
+/// retry policy.
+fn first_wave(
+    plan: &ShardPlan,
+    mut spawn: impl FnMut(usize) -> Result<std::process::Child, io::Error>,
+    slots: &mut [Option<Json>],
+) -> Vec<(usize, DistError)> {
     let children: Vec<(usize, Result<std::process::Child, io::Error>)> = plan
         .populated_shards()
-        .map(|shard| {
-            let child = spawn(shard, &mut make_command);
-            (shard, child)
-        })
+        .map(|shard| (shard, spawn(shard)))
         .collect();
     let outputs: Vec<(usize, Result<std::process::Output, DistError>)> =
         std::thread::scope(|scope| {
@@ -303,27 +470,11 @@ pub fn run_sharded(
     for (shard, output) in outputs {
         let expected = plan.range(shard);
         match output.and_then(|output| validate_shard(shard, &expected, output)) {
-            Ok(records) => install(&mut slots, records),
+            Ok(records) => install(slots, records),
             Err(error) => failed.push((shard, error)),
         }
     }
-
-    // Retry wave: one bounded retry per failed shard, sequentially (a lone
-    // child's pipe is drained to EOF by `wait_with_output`, so no second
-    // thread is needed here).
-    for (shard, first_error) in failed {
-        eprintln!("wp_dist: {first_error}; retrying shard {shard} once");
-        let expected = plan.range(shard);
-        let child = spawn(shard, &mut make_command);
-        let output = collect_output(shard, child)?;
-        let records = validate_shard(shard, &expected, output)?;
-        install(&mut slots, records);
-    }
-
-    Ok(slots
-        .into_iter()
-        .map(|slot| slot.expect("every index was validated against its shard range"))
-        .collect())
+    failed
 }
 
 /// Lands validated records in their submission-order slots.
@@ -331,6 +482,15 @@ fn install(slots: &mut [Option<Json>], records: Vec<ShardRecord>) {
     for record in records {
         slots[record.index] = Some(record.payload);
     }
+}
+
+/// Unwraps the fully-populated submission-order slots into the merged
+/// result.
+fn merged(slots: Vec<Option<Json>>) -> Vec<Json> {
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was validated against its shard range"))
+        .collect()
 }
 
 #[cfg(test)]
