@@ -67,5 +67,15 @@ fn bench_kernel(c: &mut Criterion) {
     wp_bench::bench_kernel_vs_naive(c, "table1_matmul", &workload, &rs, MAX);
 }
 
-criterion_group!(benches, bench_matmul_table, bench_kernel);
+/// The lane-packed measurement: 64 stall variants of the same WP1 matmul
+/// run through 64 scalar simulators vs one bit-parallel `LaneLidSimulator`
+/// (shared methodology in `wp_bench::bench_lane_vs_scalar`); the lane
+/// kernel's acceptance bar is ≥ 5x.
+fn bench_lanes(c: &mut Criterion) {
+    let workload = matrix_multiply(3, 2005).expect("workload assembles");
+    let rs = RsConfig::uniform(2, &[Link::CuIc]);
+    wp_bench::bench_lane_vs_scalar(c, "table1_matmul", &workload, &rs, MAX);
+}
+
+criterion_group!(benches, bench_matmul_table, bench_kernel, bench_lanes);
 criterion_main!(benches);

@@ -67,5 +67,16 @@ fn bench_kernel(c: &mut Criterion) {
     wp_bench::bench_kernel_vs_naive(c, "table1_sort", &workload, &rs, MAX);
 }
 
-criterion_group!(benches, bench_sort_table, bench_kernel);
+/// The lane-packed measurement: 64 stall variants of the same WP1 sort run
+/// through 64 scalar simulators vs one bit-parallel `LaneLidSimulator`
+/// (shared methodology in `wp_bench::bench_lane_vs_scalar`); the lane
+/// kernel's acceptance bar is ≥ 5x.  The quick 6-element workload keeps the
+/// 64-run scalar side affordable in CI.
+fn bench_lanes(c: &mut Criterion) {
+    let workload = extraction_sort(6, 2005).expect("workload assembles");
+    let rs = RsConfig::uniform(1, &[Link::CuIc]);
+    wp_bench::bench_lane_vs_scalar(c, "table1_sort", &workload, &rs, MAX);
+}
+
+criterion_group!(benches, bench_sort_table, bench_kernel, bench_lanes);
 criterion_main!(benches);

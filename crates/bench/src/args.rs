@@ -9,7 +9,14 @@
 //! * `--batch N` — scenario indices transferred per steal (`0`, the
 //!   default, selects the auto heuristic; `1` moves work one scenario at a
 //!   time).  Workers always lease one scenario per deque lock, so queued
-//!   work stays stealable regardless of the batch size.
+//!   work stays stealable regardless of the batch size;
+//! * `--lanes on|off|auto` — whether scenarios are tagged for the
+//!   lane-packed bit-parallel kernel (`wp_sim::LaneLidSimulator`).  `auto`
+//!   (the default) behaves as `on`: tagged scenarios that qualify
+//!   (control-plane-only, see the README's *Lane-packed simulation*) are
+//!   stepped 64-per-instruction, and everything else silently falls back
+//!   to the scalar kernel, so results are identical either way.  `off`
+//!   never tags, pinning the scalar path.
 //!
 //! The sharding binaries (`table1`, `figure1`, `ablation_fifo`,
 //! `ablation_oracle`) additionally accept the process-sharding flags
@@ -128,13 +135,50 @@ pub fn flag_value(args: &[String], name: &str) -> Result<Option<String>, ArgErro
     Ok(None)
 }
 
-/// Parsed `--workers` / `--batch` scheduler flags.
+/// The `--lanes` modes: whether the experiment binaries tag their sweep
+/// scenarios for the lane-packed bit-parallel kernel.
+///
+/// Tagging alone never changes results: the sweep scheduler only packs
+/// scenarios that qualify for the control-plane kernel and demotes the
+/// rest to the scalar kernel per scenario (the CI byte-for-byte diff of
+/// `table1 --quick --lanes on` vs `--lanes off` pins this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LaneMode {
+    /// Tag every scenario; qualifying ones run lane-packed.
+    On,
+    /// Never tag; everything runs on the scalar kernel.
+    Off,
+    /// The default; currently behaves exactly as [`LaneMode::On`] because
+    /// qualification is decided per scenario anyway.
+    #[default]
+    Auto,
+}
+
+impl LaneMode {
+    /// Whether scenarios should be tagged for lane packing.
+    pub fn tags_lanes(self) -> bool {
+        !matches!(self, LaneMode::Off)
+    }
+
+    /// The command-line spelling of this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            LaneMode::On => "on",
+            LaneMode::Off => "off",
+            LaneMode::Auto => "auto",
+        }
+    }
+}
+
+/// Parsed `--workers` / `--batch` / `--lanes` scheduler flags.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepArgs {
     /// Worker thread count (`0` = available parallelism).
     pub workers: usize,
     /// Steal-transfer batch size (`0` = auto heuristic).
     pub batch: usize,
+    /// Lane-packing mode (`--lanes on|off|auto`, default `auto`).
+    pub lanes: LaneMode,
 }
 
 impl SweepArgs {
@@ -166,9 +210,25 @@ impl SweepArgs {
                 }),
             }
         };
+        let lanes = match flag_value(args, "--lanes")? {
+            None => LaneMode::Auto,
+            Some(v) => match v.as_str() {
+                "on" => LaneMode::On,
+                "off" => LaneMode::Off,
+                "auto" => LaneMode::Auto,
+                _ => {
+                    return Err(ArgError::InvalidValue {
+                        flag: "--lanes".to_string(),
+                        value: v,
+                        expected: "one of on, off, auto",
+                    })
+                }
+            },
+        };
         Ok(Self {
             workers: parse("--workers")?,
             batch: parse("--batch")?,
+            lanes,
         })
     }
 
@@ -512,8 +572,28 @@ mod tests {
         let args = SweepArgs::from_args(&strings(&["--quick"])).expect("parses");
         assert_eq!(args.workers, 0);
         assert_eq!(args.batch, 0);
+        assert_eq!(args.lanes, LaneMode::Auto);
+        assert!(args.lanes.tags_lanes(), "auto behaves as on");
         assert!(args.runner().workers() >= 1);
         assert_eq!(args.runner().batch(), 0);
+    }
+
+    #[test]
+    fn lane_modes_parse_and_reject_garbage() {
+        for (spelling, mode, tags) in [
+            ("on", LaneMode::On, true),
+            ("off", LaneMode::Off, false),
+            ("auto", LaneMode::Auto, true),
+        ] {
+            let args =
+                SweepArgs::from_args(&strings(&["--lanes", spelling, "--quick"])).expect("parses");
+            assert_eq!(args.lanes, mode);
+            assert_eq!(args.lanes.tags_lanes(), tags);
+            assert_eq!(args.lanes.label(), spelling);
+        }
+        let err = SweepArgs::from_args(&strings(&["--lanes=maybe"])).unwrap_err();
+        assert!(err.to_string().contains("on, off, auto"), "{err}");
+        assert!(SweepArgs::from_args(&strings(&["--lanes"])).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! `--emit-ndjson`), merging to byte-identical output.
 
 use wp_bench::{
-    predict_wp1_throughput, soc_scenario, sort_workload, ShardArgs, SweepArgs, MAX_CYCLES,
+    predict_wp1_throughput, soc_scenario, sort_workload, LaneMode, ShardArgs, SweepArgs, MAX_CYCLES,
 };
 use wp_core::SyncPolicy;
 use wp_netlist::{analyze_loops, loop_inventory, to_dot, DEFAULT_MAX_LOOPS};
@@ -19,18 +19,29 @@ use wp_proc::{build_soc, run_golden_soc, Link, Organization, RsConfig, Workload}
 use wp_sim::Scenario;
 
 /// The per-link WP1 scenarios, in `Link::ALL` submission order (the global
-/// row numbering shared by the sharding parent and its workers).
-fn link_scenarios(workload: &Workload) -> Vec<Scenario<wp_proc::Msg, wp_proc::SocState>> {
+/// row numbering shared by the sharding parent and its workers).  With
+/// `--lanes on|auto` every scenario carries a lane key; these scenarios
+/// read the memory back after the run, so the sweep demotes them to the
+/// scalar kernel either way and the printed table is mode-independent.
+fn link_scenarios(
+    workload: &Workload,
+    lanes: LaneMode,
+) -> Vec<Scenario<wp_proc::Msg, wp_proc::SocState>> {
     Link::ALL
         .iter()
         .map(|&link| {
-            soc_scenario(
+            let scenario = soc_scenario(
                 link.label(),
                 workload,
                 Organization::Pipelined,
                 RsConfig::single(link, 1),
                 SyncPolicy::Strict,
-            )
+            );
+            if lanes.tags_lanes() {
+                scenario.with_lane_key("figure1/wp1")
+            } else {
+                scenario
+            }
         })
         .collect()
 }
@@ -90,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let range = shard.worker_range(n);
         let outcomes = sweep
             .runner()
-            .run_range(link_scenarios(&workload), range.clone());
+            .run_range(link_scenarios(&workload, sweep.lanes), range.clone());
         for (index, outcome) in range.zip(outcomes) {
             let outcome = outcome?;
             println!(
@@ -119,7 +130,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         sweep
             .runner()
-            .run(link_scenarios(&workload))
+            .run(link_scenarios(&workload, sweep.lanes))
             .into_iter()
             .map(|outcome| outcome.map(|o| o.cycles_to_goal))
             .collect::<Result<_, _>>()?

@@ -1,0 +1,122 @@
+//! Measures the lane-packed bit-parallel kernel against the scalar kernel
+//! and writes the machine-readable `BENCH_lanes.json` report that the CI
+//! perf gate (`bench_compare`) checks against the committed baseline.
+//!
+//! For each quick Table-1 workload (Extraction Sort and Matrix Multiply)
+//! the same 64 stall variants of the WP1 run are executed twice — 64
+//! scalar `LidSimulator`s vs one `LaneLidSimulator` — after asserting the
+//! two produce bit-identical per-lane outcomes.  The row's `th_wp2` field
+//! carries the wall-clock speedup of the lane kernel (the only gated
+//! field: a machine-independent ratio, unlike the raw timings that land in
+//! the cycle columns for context).
+//!
+//! Usage: `lane_speed [--iters N] [--json PATH]`
+//!
+//! Defaults: `--iters 3` (each side is timed `N` times and the fastest
+//! run wins, damping scheduler noise) and `--json BENCH_lanes.json`.
+
+use std::time::Instant;
+
+use wp_bench::{
+    bench_report_json, flag_value, json_f64, run_soc_lanes_packed, run_soc_lanes_scalar,
+    BenchTable, TableRow,
+};
+use wp_proc::{extraction_sort, matrix_multiply, Link, RsConfig, Workload};
+
+const MAX: u64 = 10_000_000;
+
+/// Times `f` over `iters` runs and returns the fastest wall-clock seconds.
+fn time_best<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        drop(result);
+    }
+    best
+}
+
+/// Measures one workload: verifies lane-vs-scalar equality, times both
+/// sides and returns the report row.
+fn measure(label: &str, workload: &Workload, rs: &RsConfig, iters: u32) -> TableRow {
+    let scalar = run_soc_lanes_scalar(workload, rs, MAX);
+    let packed = run_soc_lanes_packed(workload, rs, MAX);
+    assert_eq!(
+        scalar, packed,
+        "{label}: the lane kernel must reproduce every scalar lane bit-identically"
+    );
+    let simulated_cycles: u64 = scalar.iter().map(|(cycles, _)| cycles).sum();
+
+    let scalar_seconds = time_best(iters, || run_soc_lanes_scalar(workload, rs, MAX));
+    let lane_seconds = time_best(iters, || run_soc_lanes_packed(workload, rs, MAX));
+    let speedup = scalar_seconds / lane_seconds;
+    println!(
+        "{label}: {simulated_cycles} cycles x 64 lanes, scalar {:.1} ms, lane {:.1} ms, \
+         speedup {speedup:.2}x",
+        1e3 * scalar_seconds,
+        1e3 * lane_seconds,
+    );
+
+    // TableRow is reused so `bench_compare` gates this report unchanged:
+    // the cycle columns carry the raw timings in microseconds (context
+    // only) and `th_wp2` the speedup (the gated ratio).  The remaining
+    // ratio fields stay 0.0, which the gate skips by design.
+    TableRow {
+        label: label.to_string(),
+        golden_cycles: simulated_cycles,
+        wp1_cycles: (1e6 * scalar_seconds) as u64,
+        wp2_cycles: (1e6 * lane_seconds) as u64,
+        th_wp1: 0.0,
+        th_wp2: speedup,
+        th_wp1_predicted: 0.0,
+        improvement_percent: 0.0,
+        proven_n_wp1: None,
+        proven_n_wp2: None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name| flag_value(&args, name).unwrap_or_else(|e| e.exit());
+    let iters: u32 = match flag("--iters") {
+        None => 3,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --iters expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    };
+    let json = flag("--json").unwrap_or_else(|| "BENCH_lanes.json".to_string());
+
+    let start = Instant::now();
+    let sort = extraction_sort(6, wp_bench::WORKLOAD_SEED)?;
+    let matmul = matrix_multiply(3, wp_bench::WORKLOAD_SEED)?;
+    let rows = vec![
+        measure(
+            "Extraction Sort (6) x64 stall lanes",
+            &sort,
+            &RsConfig::uniform(1, &[Link::CuIc]),
+            iters,
+        ),
+        measure(
+            "Matrix Multiply (3x3) x64 stall lanes",
+            &matmul,
+            &RsConfig::uniform(2, &[Link::CuIc]),
+            iters,
+        ),
+    ];
+    let worst = rows.iter().map(|r| r.th_wp2).fold(f64::INFINITY, f64::min);
+    println!("worst lane-kernel speedup: {}x", json_f64(worst));
+
+    let tables = vec![BenchTable {
+        title: "Lane kernel vs scalar (64 stall lanes, WP1, quick workloads)".to_string(),
+        rows,
+    }];
+    let report = bench_report_json("lanes", 1, 0, start.elapsed().as_secs_f64(), &tables);
+    std::fs::write(&json, report)?;
+    eprintln!("wrote machine-readable report to {json}");
+    Ok(())
+}

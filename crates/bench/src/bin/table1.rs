@@ -13,8 +13,15 @@
 //! sweeps*).
 //!
 //! Usage: `table1 [--program sort|matmul|both] [--quick] [--verify]
-//! [--workers N] [--batch N] [--json PATH]
+//! [--workers N] [--batch N] [--lanes on|off|auto] [--json PATH]
 //! [--shards N | --hosts hosts.conf | --shard i/N] [--emit-ndjson]`
+//!
+//! `--lanes on` (and the default `auto`) tags every scenario for the
+//! lane-packed bit-parallel kernel; table rows read the architectural
+//! state back after the run, which disqualifies them from the
+//! control-plane kernel, so the scheduler demotes each to the scalar
+//! kernel and the output is byte-identical to `--lanes off` (CI diffs the
+//! two on every push).
 //!
 //! `--quick` shrinks the workloads and the configuration sweep to a few
 //! seconds of wall-clock and writes the machine-readable report
@@ -31,9 +38,9 @@
 use std::time::Instant;
 
 use wp_bench::{
-    bench_report_json, flag_value, format_table, matmul_workload, run_table_on, run_table_verified,
-    sort_workload, table1_base_configs, table1_two_rs_configs, table_row_from_json,
-    table_row_ndjson, BenchTable, ShardArgs, SweepArgs, TableRow,
+    bench_report_json, flag_value, format_table, matmul_workload, run_table_lanes, sort_workload,
+    table1_base_configs, table1_two_rs_configs, table_row_from_json, table_row_ndjson, BenchTable,
+    ShardArgs, SweepArgs, TableRow,
 };
 use wp_proc::{extraction_sort, matrix_multiply, Organization, RsConfig, SocError, Workload};
 use wp_sim::SweepRunner;
@@ -150,19 +157,22 @@ fn table_specs(args: &Args) -> Vec<TableSpec> {
     specs
 }
 
-/// Dispatches a contiguous config slice of one table to the verified or
-/// unverified table runner.
+/// Dispatches a contiguous config slice of one table to the table runner
+/// with this invocation's equivalence-gate and lane-packing modes.
 fn run(
     args: &Args,
     runner: &SweepRunner,
     workload: &Workload,
     configs: &[(String, RsConfig)],
 ) -> Result<Vec<TableRow>, SocError> {
-    if args.verify {
-        run_table_verified(runner, workload, Organization::Pipelined, configs)
-    } else {
-        run_table_on(runner, workload, Organization::Pipelined, configs)
-    }
+    run_table_lanes(
+        runner,
+        workload,
+        Organization::Pipelined,
+        configs,
+        args.verify,
+        args.sweep.lanes,
+    )
 }
 
 /// Prints the tables and writes the machine-readable report, exactly the
@@ -190,7 +200,8 @@ fn publish(args: &Args, tables: Vec<BenchTable>, wall_seconds: f64) -> std::io::
 fn run_local(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::error::Error>> {
     let runner = args.sweep.runner();
     eprintln!(
-        "sweeping wire-pipelined runs across {} worker thread(s), batch {}, equivalence gate {}",
+        "sweeping wire-pipelined runs across {} worker thread(s), batch {}, equivalence gate {}, \
+         lanes {}",
         runner.workers(),
         if runner.batch() == 0 {
             "auto".to_string()
@@ -198,6 +209,7 @@ fn run_local(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::erro
             runner.batch().to_string()
         },
         if args.verify { "on" } else { "off" },
+        args.sweep.lanes.label(),
     );
     let start = Instant::now();
     let mut tables = Vec::new();

@@ -11,7 +11,7 @@ mod args;
 mod compare;
 mod json;
 
-pub use args::{flag_value, ArgError, ShardArgs, SweepArgs};
+pub use args::{flag_value, ArgError, LaneMode, ShardArgs, SweepArgs};
 pub use compare::{compare_reports, BenchComparison};
 pub use json::{
     bench_report_json, json_f64, json_opt_usize, json_string, table_row_from_json,
@@ -23,7 +23,10 @@ use wp_proc::{
     build_soc, extraction_sort, matrix_multiply, run_golden_soc, soc_state, Link, Msg,
     Organization, RsConfig, SocError, SocState, Workload, CU,
 };
-use wp_sim::{LidSimulator, RunGoal, Scenario, SweepOutcome, SweepRunner, SystemBuilder};
+use wp_sim::{
+    LaneLidSimulator, LaneScenario, LidReport, LidSimulator, RunGoal, Scenario, StallSchedule,
+    SweepOutcome, SweepRunner, SystemBuilder, MAX_LANES,
+};
 
 /// Default cycle budget for SoC simulations.
 pub const MAX_CYCLES: u64 = 20_000_000;
@@ -319,7 +322,7 @@ pub fn run_table_on(
     org: Organization,
     configs: &[(String, RsConfig)],
 ) -> Result<Vec<TableRow>, SocError> {
-    run_table_impl(runner, workload, org, configs, false)
+    run_table_impl(runner, workload, org, configs, false, LaneMode::Auto)
 }
 
 /// [`run_table_on`] with the per-scenario equivalence gate enabled: every
@@ -339,7 +342,29 @@ pub fn run_table_verified(
     org: Organization,
     configs: &[(String, RsConfig)],
 ) -> Result<Vec<TableRow>, SocError> {
-    run_table_impl(runner, workload, org, configs, true)
+    run_table_impl(runner, workload, org, configs, true, LaneMode::Auto)
+}
+
+/// [`run_table_on`] / [`run_table_verified`] with an explicit lane-packing
+/// mode (`--lanes`): when the mode tags lanes, every scenario carries a
+/// lane key so the sweep scheduler may pack qualifying ones into the
+/// bit-parallel kernel.  Table scenarios read the architectural state back
+/// after the run, which disqualifies them from the control-plane kernel,
+/// so the scheduler demotes each to the scalar kernel and the produced
+/// rows are identical in every mode (pinned byte-for-byte by CI).
+///
+/// # Errors
+///
+/// Propagates any [`SocError`] from the underlying runs.
+pub fn run_table_lanes(
+    runner: &SweepRunner,
+    workload: &Workload,
+    org: Organization,
+    configs: &[(String, RsConfig)],
+    verify: bool,
+    lanes: LaneMode,
+) -> Result<Vec<TableRow>, SocError> {
+    run_table_impl(runner, workload, org, configs, verify, lanes)
 }
 
 fn run_table_impl(
@@ -348,6 +373,7 @@ fn run_table_impl(
     org: Organization,
     configs: &[(String, RsConfig)],
     verify: bool,
+    lanes: LaneMode,
 ) -> Result<Vec<TableRow>, SocError> {
     let golden = run_golden_soc(workload, org, MAX_CYCLES)?;
     let mut scenarios = Vec::with_capacity(configs.len() * 2);
@@ -360,6 +386,9 @@ fn run_table_impl(
                 *rs,
                 policy,
             );
+            if lanes.tags_lanes() {
+                scenario = scenario.with_lane_key(format!("soc/{}", policy.label()));
+            }
             if verify {
                 scenario = with_soc_equivalence(scenario, workload, org, *rs);
             }
@@ -670,6 +699,134 @@ pub fn bench_kernel_vs_naive(
         "{table} kernel speedup vs naive baseline: {:.2}x (median), {:.2}x (mean)\n",
         naive.median.as_secs_f64() / kernel.median.as_secs_f64(),
         naive.mean.as_secs_f64() / kernel.mean.as_secs_f64(),
+    );
+}
+
+/// The stall-schedule family used by the lane-vs-scalar measurements: each
+/// of the 64 lanes runs the same SoC under a different pseudo-random shell
+/// stall pattern of density `2^-LANE_STALL_LEVEL` (the sweep use case the
+/// lane kernel was built for: 64 stall scenarios per instruction).
+pub const LANE_STALL_LEVEL: u32 = 2;
+
+/// Builds the 64 per-lane scenarios of a lane-vs-scalar measurement over
+/// the given builder: identical relay budgets, one stall schedule per lane
+/// drawn from the shared family.
+fn lane_stall_scenarios<V>(builder: &SystemBuilder<V>) -> Vec<LaneScenario> {
+    let relay_stations: Vec<usize> = builder
+        .channels()
+        .iter()
+        .map(|c| c.relay_stations)
+        .collect();
+    (0..MAX_LANES)
+        .map(|lane| LaneScenario {
+            relay_stations: relay_stations.clone(),
+            stall: Some(StallSchedule::new(
+                WORKLOAD_SEED,
+                LANE_STALL_LEVEL,
+                lane as u32,
+            )),
+        })
+        .collect()
+}
+
+/// Runs the 64 stall variants of one WP1 SoC workload the scalar way: one
+/// [`LidSimulator`] per lane, traces off, until the control unit halts.
+/// Returns `(cycles_to_goal, report)` per lane — the reference the lane
+/// kernel must reproduce bit-identically.
+///
+/// # Panics
+///
+/// Panics if a run fails (the bench workloads never do).
+pub fn run_soc_lanes_scalar(
+    workload: &Workload,
+    rs: &RsConfig,
+    max_cycles: u64,
+) -> Vec<(u64, LidReport)> {
+    (0..MAX_LANES)
+        .map(|lane| {
+            let builder = build_soc(workload, Organization::Pipelined, rs);
+            let mut sim = LidSimulator::new(builder, ShellConfig::strict()).expect("SoC assembles");
+            sim.set_trace_enabled(false);
+            sim.set_stall_schedule(Some(StallSchedule::new(
+                WORKLOAD_SEED,
+                LANE_STALL_LEVEL,
+                lane as u32,
+            )));
+            let cycles = sim
+                .run_until_halt(CU, max_cycles)
+                .expect("SoC run completes");
+            (cycles, sim.report())
+        })
+        .collect()
+}
+
+/// [`run_soc_lanes_scalar`]'s fast twin: the same 64 stall variants packed
+/// into one [`LaneLidSimulator`] and stepped bit-parallel.
+///
+/// # Panics
+///
+/// Panics if the batch fails to build or a lane errors (the bench
+/// workloads never do).
+pub fn run_soc_lanes_packed(
+    workload: &Workload,
+    rs: &RsConfig,
+    max_cycles: u64,
+) -> Vec<(u64, LidReport)> {
+    let builder = build_soc(workload, Organization::Pipelined, rs);
+    let lanes = lane_stall_scenarios(&builder);
+    let mut sim =
+        LaneLidSimulator::new(builder, &lanes, ShellConfig::strict()).expect("SoC assembles");
+    sim.run(
+        RunGoal::UntilHalt {
+            process: CU,
+            max_cycles,
+        },
+        None,
+    )
+    .into_iter()
+    .map(|outcome| {
+        let outcome = outcome.expect("SoC lane completes");
+        (outcome.cycles_to_goal, outcome.report)
+    })
+    .collect()
+}
+
+/// The shared `lane_vs_scalar` bench group: runs the same 64 stall
+/// variants of a WP1 SoC workload through 64 scalar simulators and through
+/// one lane-packed kernel, asserts the outcomes are bit-identical lane by
+/// lane, and prints the speedup.  Used by the `table1_sort` and
+/// `table1_matmul` benches; the acceptance bar of the lane kernel is ≥ 5x.
+///
+/// # Panics
+///
+/// Panics if any lane's outcome differs between the two kernels (a lane
+/// kernel bug).
+pub fn bench_lane_vs_scalar(
+    c: &mut criterion::Criterion,
+    table: &str,
+    workload: &Workload,
+    rs: &RsConfig,
+    max_cycles: u64,
+) {
+    assert_eq!(
+        run_soc_lanes_scalar(workload, rs, max_cycles),
+        run_soc_lanes_packed(workload, rs, max_cycles),
+        "the lane kernel must reproduce every scalar lane bit-identically"
+    );
+
+    let mut group = c.benchmark_group(format!("{table}/lane_vs_scalar"));
+    group.sample_size(10);
+    let scalar = group.bench_function("scalar_64_runs", |b| {
+        b.iter(|| run_soc_lanes_scalar(workload, rs, max_cycles))
+    });
+    let lane = group.bench_function("lane_kernel_64", |b| {
+        b.iter(|| run_soc_lanes_packed(workload, rs, max_cycles))
+    });
+    group.finish();
+    println!(
+        "{table} lane kernel speedup vs 64 scalar runs: {:.2}x (median), {:.2}x (mean)\n",
+        scalar.median.as_secs_f64() / lane.median.as_secs_f64(),
+        scalar.mean.as_secs_f64() / lane.mean.as_secs_f64(),
     );
 }
 

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod control;
 mod equivalence;
 mod error;
 mod fifo;
@@ -74,6 +75,9 @@ mod shell;
 mod token;
 mod trace;
 
+pub use control::{
+    relay_station_control, shell_fire_control, shell_release_control, ControlWord, RelayControl,
+};
 pub use equivalence::{
     check_equivalence, compare_filtered, n_equivalent, ChannelVerdict, EquivalenceReport,
     StreamingEquivalence,

@@ -116,6 +116,9 @@ pub enum StallCause {
     },
     /// The enclosed process reported [`Process::is_halted`].
     Halted,
+    /// An external gate (e.g. a deterministic stall schedule) withheld the
+    /// firing this cycle even though the protocol would have allowed it.
+    Gated,
 }
 
 /// Running counters describing the activity of a shell.
@@ -129,6 +132,9 @@ pub struct ShellStats {
     pub stalls_output_blocked: u64,
     /// Cycles in which the process was already halted.
     pub halted_cycles: u64,
+    /// Cycles in which an external gate withheld an otherwise possible firing
+    /// (see [`StallCause::Gated`]).
+    pub stalls_gated: u64,
     /// Stale (old-tag) tokens discarded, per input port.
     pub discarded: Vec<u64>,
     /// Valid tokens accepted, per input port.
@@ -146,7 +152,11 @@ impl ShellStats {
 
     /// Total cycles observed (firings + stalls + halted cycles).
     pub fn cycles(&self) -> u64 {
-        self.firings + self.stalls_missing_input + self.stalls_output_blocked + self.halted_cycles
+        self.firings
+            + self.stalls_missing_input
+            + self.stalls_output_blocked
+            + self.halted_cycles
+            + self.stalls_gated
     }
 
     /// Average number of firings per cycle (the block throughput).
@@ -307,6 +317,30 @@ impl<V: Clone> Shell<V> {
         inputs: &[Token<V>],
         out_stops: &[bool],
     ) -> Result<bool, ProtocolError> {
+        self.update_gated(inputs, out_stops, true)
+    }
+
+    /// [`Shell::update`] with an external firing gate.
+    ///
+    /// When `allow_fire` is `false` the accept / discard / release / stop
+    /// phases still run (the protocol side of the shell is unchanged), but the
+    /// firing decision is withheld for this cycle and recorded as
+    /// [`StallCause::Gated`].  Gating is protocol-safe: to every neighbour the
+    /// shell is indistinguishable from a block whose computation simply takes
+    /// longer, which is exactly the class of perturbation latency-insensitive
+    /// design tolerates.  Deterministic stall schedules use this to perturb a
+    /// system identically under the scalar and the lane-packed kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] if the supplied slices do not match the
+    /// port counts or if a queue overflows (protocol violation).
+    pub fn update_gated(
+        &mut self,
+        inputs: &[Token<V>],
+        out_stops: &[bool],
+        allow_fire: bool,
+    ) -> Result<bool, ProtocolError> {
         if inputs.len() != self.num_inputs() {
             return Err(ProtocolError::PortCountMismatch {
                 expected: self.num_inputs(),
@@ -352,7 +386,11 @@ impl<V: Clone> Shell<V> {
         }
 
         // 4. Decide whether the process can fire.
-        let decision = self.firing_decision();
+        let decision = if allow_fire {
+            self.firing_decision()
+        } else {
+            Err(StallCause::Gated)
+        };
         let fired = match decision {
             Ok(required) => {
                 // Pop the consumed tokens into the persistent scratch slots
@@ -380,6 +418,7 @@ impl<V: Clone> Shell<V> {
                     StallCause::MissingInput { .. } => self.stats.stalls_missing_input += 1,
                     StallCause::OutputBlocked { .. } => self.stats.stalls_output_blocked += 1,
                     StallCause::Halted => self.stats.halted_cycles += 1,
+                    StallCause::Gated => self.stats.stalls_gated += 1,
                 }
                 false
             }

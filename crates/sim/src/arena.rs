@@ -140,6 +140,83 @@ impl<V> WireArena<V> {
     }
 }
 
+/// A flat slab of lane-packed control planes for the bit-parallel kernel
+/// ([`crate::LaneLidSimulator`]): one `u64` word per (group, plane) pair,
+/// where bit *l* of every word belongs to lane *l*.
+///
+/// Groups are laid out exactly like [`PortArena`] (contiguous slots sliced
+/// through precomputed offsets) but with variable per-group widths: a group
+/// is a channel (planes = relay-station slots) or a process (planes = ports
+/// or counter bits).  Built once at construction and mutated in place, the
+/// arena keeps the lane kernel heap-allocation-free in steady state.
+#[derive(Debug, Clone)]
+pub struct LanePlaneArena {
+    /// One `u64` plane per (group, index) pair, in group-major order.
+    slots: Vec<u64>,
+    /// `offsets[g]..offsets[g + 1]` is group `g`'s slice of `slots`.
+    offsets: Vec<usize>,
+}
+
+impl LanePlaneArena {
+    /// Builds the arena for groups with the given plane counts, with every
+    /// plane zeroed.
+    pub fn new<I>(planes_per_group: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut offsets = vec![0];
+        for count in planes_per_group {
+            offsets.push(offsets.last().unwrap() + count);
+        }
+        let slots = vec![0u64; *offsets.last().unwrap()];
+        Self { slots, offsets }
+    }
+
+    /// Number of groups the arena was laid out for.
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of planes across all groups.
+    pub fn num_planes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The planes of group `group`, in plane order.
+    #[inline]
+    pub fn of(&self, group: usize) -> &[u64] {
+        &self.slots[self.offsets[group]..self.offsets[group + 1]]
+    }
+
+    /// Mutable access to the planes of group `group`.
+    #[inline]
+    pub fn of_mut(&mut self, group: usize) -> &mut [u64] {
+        let lo = self.offsets[group];
+        let hi = self.offsets[group + 1];
+        &mut self.slots[lo..hi]
+    }
+
+    /// One plane of a group.
+    #[inline]
+    pub fn get(&self, group: usize, plane: usize) -> u64 {
+        debug_assert!(plane < self.offsets[group + 1] - self.offsets[group]);
+        self.slots[self.offsets[group] + plane]
+    }
+
+    /// Overwrites one plane of a group.
+    #[inline]
+    pub fn set(&mut self, group: usize, plane: usize, word: u64) {
+        debug_assert!(plane < self.offsets[group + 1] - self.offsets[group]);
+        let slot = self.offsets[group] + plane;
+        self.slots[slot] = word;
+    }
+
+    /// Zeroes every plane (used by resets, not by the per-cycle step).
+    pub fn clear(&mut self) {
+        self.slots.fill(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +256,19 @@ mod tests {
     fn out_of_range_port_is_rejected_in_debug() {
         let mut arena: WireArena<u64> = WireArena::new([(1, 1)]);
         arena.set_input(0, 1, Token::Valid(1));
+    }
+
+    #[test]
+    fn lane_plane_arena_slices_follow_the_layout() {
+        let mut arena = LanePlaneArena::new([2, 0, 3]);
+        assert_eq!(arena.num_groups(), 3);
+        assert_eq!(arena.num_planes(), 5);
+        arena.set(0, 1, 0xFF);
+        arena.of_mut(2)[0] = 7;
+        assert_eq!(arena.of(0), &[0, 0xFF]);
+        assert_eq!(arena.of(1), &[] as &[u64]);
+        assert_eq!(arena.get(2, 0), 7);
+        arena.clear();
+        assert_eq!(arena.of(0), &[0, 0]);
     }
 }

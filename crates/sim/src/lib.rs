@@ -66,6 +66,7 @@
 
 mod arena;
 mod golden;
+mod lane;
 mod lid;
 mod naive;
 mod spec;
@@ -73,8 +74,9 @@ mod sweep;
 #[cfg(test)]
 mod testutil;
 
-pub use arena::{PortArena, WireArena};
+pub use arena::{LanePlaneArena, PortArena, WireArena};
 pub use golden::GoldenSimulator;
+pub use lane::{LaneLidSimulator, LaneOutcome, LaneScenario, StallSchedule, MAX_LANES};
 pub use lid::{LidReport, LidSimulator, DEFAULT_DEADLOCK_WINDOW};
 pub use naive::{NaiveGoldenSimulator, NaiveSimulator};
 pub use spec::{ChannelId, ChannelSpec, ProcessId, SimError, SystemBuilder};

@@ -30,6 +30,7 @@
 use wp_core::{ChannelTrace, Process, RelayChain, Shell, ShellConfig, ShellStats, TraceArena};
 
 use crate::arena::WireArena;
+use crate::lane::StallSchedule;
 use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
 
 /// How many consecutive cycles without a single firing are tolerated before
@@ -77,6 +78,9 @@ pub struct LidSimulator<V> {
     total_firings: u64,
     cycles_since_firing: u64,
     deadlock_window: u64,
+    /// Deterministic firing gate installed by
+    /// [`LidSimulator::set_stall_schedule`] (none by default).
+    stall: Option<StallSchedule>,
 }
 
 impl<V> std::fmt::Debug for LidSimulator<V> {
@@ -122,7 +126,19 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
             total_firings: 0,
             cycles_since_firing: 0,
             deadlock_window: DEFAULT_DEADLOCK_WINDOW,
+            stall: None,
         })
+    }
+
+    /// Installs (or removes) a deterministic stall schedule: a firing gate
+    /// that withholds otherwise possible firings on scheduled
+    /// (process, cycle) pairs.  Gating is protocol-safe — to its neighbours a
+    /// gated shell is indistinguishable from a slower block — and is how the
+    /// scalar kernel reproduces exactly the perturbation one lane of the
+    /// bit-parallel [`crate::LaneLidSimulator`] experiences, so the two can
+    /// be compared bit for bit.
+    pub fn set_stall_schedule(&mut self, schedule: Option<StallSchedule>) {
+        self.stall = schedule;
     }
 
     /// Enables or disables channel-trace recording (enabled by default).
@@ -218,6 +234,7 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
     /// violation is detected (this indicates a bug in the system assembly,
     /// not a data-dependent condition).
     pub fn step(&mut self) -> Result<(), SimError> {
+        let cycle = self.cycles;
         let Self {
             shells,
             channels,
@@ -225,6 +242,7 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
             traces,
             arena,
             trace_enabled,
+            stall,
             ..
         } = self;
 
@@ -258,7 +276,11 @@ impl<V: Clone + PartialEq> LidSimulator<V> {
         // O(n_shells) firing scans of the seed step/drain loops.
         let mut fired_this_cycle = 0u64;
         for (i, shell) in shells.iter_mut().enumerate() {
-            let fired = shell.update(arena.inputs_of(i), arena.out_stops_of(i))?;
+            let allow = match stall {
+                Some(schedule) => !schedule.stalled(i, cycle),
+                None => true,
+            };
+            let fired = shell.update_gated(arena.inputs_of(i), arena.out_stops_of(i), allow)?;
             fired_this_cycle += u64::from(fired);
         }
 

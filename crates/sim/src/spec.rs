@@ -174,6 +174,12 @@ impl<V> SystemBuilder<V> {
         self.channels.iter().position(|c| c.name == name)
     }
 
+    /// Borrow the processes (the lane batcher's structural defense compares
+    /// names and port counts across the built descriptions of one batch).
+    pub(crate) fn processes(&self) -> &[Box<dyn Process<V>>] {
+        &self.processes
+    }
+
     /// Borrow the processes (used by the simulators after validation).
     pub(crate) fn into_parts(self) -> (Vec<Box<dyn Process<V>>>, Vec<ChannelSpec>) {
         (self.processes, self.channels)

@@ -38,6 +38,26 @@
 //! sweep.  [`SweepRunner::run_with_stats`] additionally reports the lease
 //! and steal counters ([`SweepStats`]).
 //!
+//! # Lane batching
+//!
+//! Scenarios that declare a [`Scenario::with_lane_key`] are additionally
+//! grouped into **lane batches** of up to [`MAX_LANES`] scenarios sharing
+//! one netlist, and each batch is executed by the bit-parallel
+//! [`LaneLidSimulator`] — one simulated instruction stream stepping all of
+//! them at once — instead of one scalar [`LidSimulator`] per scenario.
+//! Two scenarios land in the same batch only when they share the lane key,
+//! the shell configuration, the run goal, the drain parameters and the
+//! stall-schedule family; a batch additionally re-checks at execution time
+//! that the *built* systems are structurally identical (process names and
+//! port counts, channel endpoints — everything except per-channel
+//! relay-station counts, which may vary per lane) and demotes the whole
+//! batch to the scalar kernel if they are not.  Scenarios that need
+//! payloads — traces, a golden equivalence twin, a post-extraction — or a
+//! non-strict policy are never batched.  Because every lane is
+//! bit-identical to its scalar run, outcomes stay submission-ordered and
+//! independent of worker count, batch size **and lane packing**; the lane
+//! counters in [`SweepStats`] report how much of a sweep ran bit-parallel.
+//!
 //! ```
 //! use wp_core::{RecordingSink, ShellConfig};
 //! use wp_sim::{RunGoal, Scenario, SweepRunner, SystemBuilder};
@@ -71,9 +91,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use wp_core::{EquivalenceReport, ShellConfig, StreamingEquivalence, TraceArena};
+use wp_core::{EquivalenceReport, ShellConfig, StreamingEquivalence, SyncPolicy, TraceArena};
 
 use crate::golden::GoldenSimulator;
+use crate::lane::{LaneLidSimulator, LaneScenario, StallSchedule, MAX_LANES};
 use crate::lid::{LidReport, LidSimulator};
 use crate::spec::{ProcessId, SimError, SystemBuilder};
 
@@ -121,6 +142,11 @@ pub struct Scenario<V, T = ()> {
     trace_enabled: bool,
     /// Golden-twin factory installed by [`Scenario::with_equivalence_check`].
     golden: Option<BuildFn<V>>,
+    /// Deterministic firing gate installed by
+    /// [`Scenario::with_stall_schedule`].
+    stall: Option<StallSchedule>,
+    /// Lane-batching opt-in installed by [`Scenario::with_lane_key`].
+    lane_key: Option<String>,
 }
 
 impl<V, T> fmt::Debug for Scenario<V, T> {
@@ -132,6 +158,8 @@ impl<V, T> fmt::Debug for Scenario<V, T> {
             .field("drain", &self.drain)
             .field("trace_enabled", &self.trace_enabled)
             .field("equivalence_check", &self.golden.is_some())
+            .field("stall", &self.stall)
+            .field("lane_key", &self.lane_key)
             .finish()
     }
 }
@@ -159,6 +187,8 @@ impl<V> Scenario<V> {
             post: None,
             trace_enabled: false,
             golden: None,
+            stall: None,
+            lane_key: None,
         }
     }
 }
@@ -209,6 +239,49 @@ impl<V, T> Scenario<V, T> {
         self
     }
 
+    /// Installs a deterministic [`StallSchedule`]: a firing gate that
+    /// withholds otherwise possible firings on scheduled (process, cycle)
+    /// pairs, turning one netlist into many distinct throughput scenarios.
+    /// Gating is protocol-safe (a gated shell is indistinguishable from a
+    /// slower block), applies identically on the scalar and the
+    /// lane-packed execution path, and is the canonical per-lane
+    /// perturbation of a lane batch — all scenarios of one batch must
+    /// share the schedule *family* (seed and level), each reading its own
+    /// lane of the shared hash words.
+    #[must_use]
+    pub fn with_stall_schedule(mut self, schedule: StallSchedule) -> Self {
+        self.stall = Some(schedule);
+        self
+    }
+
+    /// Opts this scenario into **lane batching** under the given key (see
+    /// the module docs): scenarios sharing a key promise to build
+    /// structurally identical systems — same processes (names and port
+    /// counts) and same channel endpoints, with only per-channel
+    /// relay-station counts, stall-schedule lanes and similar control-only
+    /// knobs varying — so up to [`MAX_LANES`] of them can be packed into
+    /// one bit-parallel [`LaneLidSimulator`].  The promise is re-checked
+    /// against the built descriptions before packing; a violation demotes
+    /// the batch to the scalar kernel (counted in
+    /// [`SweepStats::lane_fallbacks`]), never to a wrong result.
+    #[must_use]
+    pub fn with_lane_key(mut self, key: impl Into<String>) -> Self {
+        self.lane_key = Some(key.into());
+        self
+    }
+
+    /// Whether this scenario may be packed into a lane batch: it opted in,
+    /// uses strict shells (the oracle policy consults payload-dependent
+    /// firing profiles) and needs nothing payload-sensitive — no traces, no
+    /// golden equivalence twin, no post-extraction.
+    fn lane_eligible(&self) -> bool {
+        self.lane_key.is_some()
+            && self.config.policy == SyncPolicy::Strict
+            && self.post.is_none()
+            && self.golden.is_none()
+            && !self.trace_enabled
+    }
+
     /// Extracts a caller-defined value from the finished simulator (e.g.
     /// architectural state via process downcasts); it is returned in
     /// [`SweepOutcome::post`].
@@ -226,6 +299,8 @@ impl<V, T> Scenario<V, T> {
             post: Some(Box::new(post)),
             trace_enabled: self.trace_enabled,
             golden: self.golden,
+            stall: self.stall,
+            lane_key: self.lane_key,
         }
     }
 }
@@ -277,11 +352,21 @@ pub struct SweepStats {
     /// Effective steal-transfer size (the configured batch, or the auto
     /// heuristic).
     pub batch: usize,
-    /// Scenario executions leased from worker deques (always equals the
-    /// scenario count on a completed sweep).
+    /// Work-item executions leased from worker deques (a work item is one
+    /// scalar scenario or one whole lane batch; on a completed sweep this
+    /// equals the item count).
     pub leases: u64,
     /// Batch transfers from a victim's deque to an idle worker's deque.
     pub steals: u64,
+    /// Lane batches executed by the bit-parallel [`LaneLidSimulator`].
+    pub lane_batches: u64,
+    /// Total lanes across those batches — scenarios that actually ran on
+    /// the bit-parallel kernel.
+    pub lanes_filled: u64,
+    /// Scenarios that were grouped into a lane batch but demoted to the
+    /// scalar kernel at execution time (the built systems were not
+    /// structurally identical, or the lane kernel rejected the batch).
+    pub lane_fallbacks: u64,
 }
 
 /// Runs independent scenarios across a pool of `std::thread` workers with a
@@ -407,37 +492,80 @@ impl SweepRunner {
         if n == 0 {
             return (Vec::new(), SweepStats::default());
         }
-        let workers = self.workers.min(n).max(1);
-        let batch = self.effective_batch(n, workers);
+        // Group lane-eligible scenarios into bit-parallel batches; everything
+        // else becomes a single-scenario work item (see the module docs).
+        let items = plan_work(&scenarios);
+        let n_items = items.len();
+        let workers = self.workers.min(n_items).max(1);
+        let batch = self.effective_batch(n_items, workers);
         let slots: Vec<Slot<T>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
 
-        // One deque of scenario indices per worker, seeded with a contiguous
-        // span of the submission order.  Indices only ever leave the deques,
-        // so "every deque is empty" means the sweep is fully leased.
+        // One deque of work-item indices per worker, seeded with a
+        // contiguous span of the item order.  Indices only ever leave the
+        // deques, so "every deque is empty" means the sweep is fully leased.
         let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
-            .map(|w| Mutex::new((w * n / workers..(w + 1) * n / workers).collect()))
+            .map(|w| Mutex::new((w * n_items / workers..(w + 1) * n_items / workers).collect()))
             .collect();
         let leases = AtomicU64::new(0);
         let steals = AtomicU64::new(0);
+        let lane_batches = AtomicU64::new(0);
+        let lanes_filled = AtomicU64::new(0);
+        let lane_fallbacks = AtomicU64::new(0);
 
         {
-            let (scenarios, slots, queues) = (&scenarios, &slots, &queues);
+            let (scenarios, slots, queues, items) = (&scenarios, &slots, &queues, &items);
             let (leases, steals) = (&leases, &steals);
+            let (lane_batches, lanes_filled, lane_fallbacks) =
+                (&lane_batches, &lanes_filled, &lane_fallbacks);
             std::thread::scope(|scope| {
                 for me in 0..workers {
                     scope.spawn(move || {
                         let mut chunk: Vec<usize> = Vec::with_capacity(batch);
                         loop {
-                            // Lease exactly one index from our own deque:
+                            // Lease exactly one item from our own deque:
                             // everything not currently executing stays in a
                             // deque, visible to thieves, so a long-running
-                            // scenario can never hide queued work.
+                            // item can never hide queued work.
                             let index =
                                 queues[me].lock().expect("sweep queue poisoned").pop_front();
                             if let Some(index) = index {
                                 leases.fetch_add(1, Ordering::Relaxed);
-                                *slots[index].lock().expect("sweep slot poisoned") =
-                                    Some(execute(&scenarios[index]));
+                                match &items[index] {
+                                    WorkItem::Single(i) => {
+                                        *slots[*i].lock().expect("sweep slot poisoned") =
+                                            Some(execute(&scenarios[*i]));
+                                    }
+                                    WorkItem::Batch(lanes) => {
+                                        match execute_lane_batch(scenarios, lanes) {
+                                            Some(results) => {
+                                                lane_batches.fetch_add(1, Ordering::Relaxed);
+                                                lanes_filled.fetch_add(
+                                                    lanes.len() as u64,
+                                                    Ordering::Relaxed,
+                                                );
+                                                for (&i, r) in lanes.iter().zip(results) {
+                                                    *slots[i]
+                                                        .lock()
+                                                        .expect("sweep slot poisoned") = Some(r);
+                                                }
+                                            }
+                                            None => {
+                                                // Structural defense tripped:
+                                                // run each lane scalar.
+                                                lane_fallbacks.fetch_add(
+                                                    lanes.len() as u64,
+                                                    Ordering::Relaxed,
+                                                );
+                                                for &i in lanes {
+                                                    *slots[i]
+                                                        .lock()
+                                                        .expect("sweep slot poisoned") =
+                                                        Some(execute(&scenarios[i]));
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
                                 continue;
                             }
                             // Own deque empty: transfer up to half of a
@@ -497,9 +625,135 @@ impl SweepRunner {
             batch,
             leases: leases.into_inner(),
             steals: steals.into_inner(),
+            lane_batches: lane_batches.into_inner(),
+            lanes_filled: lanes_filled.into_inner(),
+            lane_fallbacks: lane_fallbacks.into_inner(),
         };
         (outcomes, stats)
     }
+}
+
+/// One schedulable unit of a sweep: a scalar scenario, or a whole lane
+/// batch executed bit-parallel.
+#[derive(Debug)]
+enum WorkItem {
+    /// One scenario on the scalar kernel.
+    Single(usize),
+    /// Up to [`MAX_LANES`] scenario indices packed into one
+    /// [`LaneLidSimulator`], in submission order.
+    Batch(Vec<usize>),
+}
+
+/// Whether two lane-eligible scenarios may share a lane batch: same lane
+/// key, shell configuration, run goal, drain parameters and stall-schedule
+/// family (each lane still reads its own schedule lane).
+fn same_lane_group<V, T>(a: &Scenario<V, T>, b: &Scenario<V, T>) -> bool {
+    a.lane_key == b.lane_key
+        && a.config == b.config
+        && a.goal == b.goal
+        && a.drain == b.drain
+        && a.stall.map(|s| s.family()) == b.stall.map(|s| s.family())
+}
+
+/// Groups the sweep into work items: lane-eligible scenarios accumulate
+/// into per-group batches (closed at [`MAX_LANES`] lanes), everything else
+/// becomes a single-scenario item.  Grouping only decides *how* scenarios
+/// execute — results land in per-scenario slots either way, so the
+/// submission order of the outcomes is unaffected.
+fn plan_work<V, T>(scenarios: &[Scenario<V, T>]) -> Vec<WorkItem> {
+    let mut items = Vec::new();
+    let mut open: Vec<Vec<usize>> = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        if !s.lane_eligible() {
+            items.push(WorkItem::Single(i));
+            continue;
+        }
+        match open
+            .iter()
+            .position(|b| same_lane_group(&scenarios[b[0]], s))
+        {
+            Some(pos) => {
+                open[pos].push(i);
+                if open[pos].len() == MAX_LANES {
+                    items.push(WorkItem::Batch(open.swap_remove(pos)));
+                }
+            }
+            None => open.push(vec![i]),
+        }
+    }
+    items.extend(open.into_iter().map(WorkItem::Batch));
+    items
+}
+
+/// The structural-defense check of a lane batch: the built descriptions
+/// must agree on everything except per-channel relay-station counts.
+fn same_structure<V>(a: &SystemBuilder<V>, b: &SystemBuilder<V>) -> bool {
+    a.processes().len() == b.processes().len()
+        && a.processes().iter().zip(b.processes()).all(|(p, q)| {
+            p.name() == q.name()
+                && p.num_inputs() == q.num_inputs()
+                && p.num_outputs() == q.num_outputs()
+        })
+        && a.channels().len() == b.channels().len()
+        && a.channels().iter().zip(b.channels()).all(|(c, d)| {
+            c.name == d.name
+                && c.src == d.src
+                && c.src_port == d.src_port
+                && c.dst == d.dst
+                && c.dst_port == d.dst_port
+        })
+}
+
+/// Executes one lane batch on the bit-parallel kernel and returns the
+/// per-scenario results in batch order, or `None` when the batch must be
+/// demoted to the scalar kernel (structurally diverging builds, or a batch
+/// the lane kernel rejects) — the caller then re-runs each scenario through
+/// [`execute`], so a tripped defense costs time, never correctness.
+fn execute_lane_batch<V, T>(
+    scenarios: &[Scenario<V, T>],
+    batch: &[usize],
+) -> Option<Vec<Result<SweepOutcome<T>, SweepError>>>
+where
+    V: Clone + PartialEq,
+{
+    let mut builders: Vec<SystemBuilder<V>> =
+        batch.iter().map(|&i| (scenarios[i].build)()).collect();
+    if !builders[1..]
+        .iter()
+        .all(|b| same_structure(&builders[0], b))
+    {
+        return None;
+    }
+    let lanes: Vec<LaneScenario> = batch
+        .iter()
+        .zip(&builders)
+        .map(|(&i, b)| LaneScenario {
+            relay_stations: b.channels().iter().map(|c| c.relay_stations).collect(),
+            stall: scenarios[i].stall,
+        })
+        .collect();
+    let lead = &scenarios[batch[0]];
+    let mut kernel = LaneLidSimulator::new(builders.swap_remove(0), &lanes, lead.config).ok()?;
+    let outcomes = kernel.run(lead.goal, lead.drain);
+    Some(
+        batch
+            .iter()
+            .zip(outcomes)
+            .map(|(&i, outcome)| match outcome {
+                Ok(o) => Ok(SweepOutcome {
+                    label: scenarios[i].label.clone(),
+                    cycles_to_goal: o.cycles_to_goal,
+                    report: o.report,
+                    post: None,
+                    equivalence: None,
+                }),
+                Err(error) => Err(SweepError {
+                    label: scenarios[i].label.clone(),
+                    error,
+                }),
+            })
+            .collect(),
+    )
 }
 
 /// How many indices a thief may transfer from a victim's deque holding
@@ -653,6 +907,7 @@ where
     };
     let mut sim = LidSimulator::new((scenario.build)(), scenario.config).map_err(fail)?;
     sim.set_trace_enabled(scenario.trace_enabled);
+    sim.set_stall_schedule(scenario.stall);
 
     let mut driver = match &scenario.golden {
         Some(golden_build) => {
@@ -909,6 +1164,148 @@ mod tests {
         let outcome = SweepRunner::new(1).run(scenarios).remove(0).expect("runs");
         assert_eq!(outcome.post, Some(25));
         assert_eq!(outcome.report.cycles, 25);
+    }
+
+    /// Lane-key'd ring scenarios with per-scenario relay budgets and stall
+    /// lanes: the lane-batched sweep must produce exactly the outcomes of
+    /// the same scenarios without the lane opt-in (all-scalar), and the
+    /// stats must show the batch actually ran bit-parallel.
+    #[test]
+    fn lane_batched_sweep_matches_the_scalar_sweep() {
+        let scenarios = |lane_key: bool| -> Vec<Scenario<u64>> {
+            (0..10usize)
+                .map(|k| {
+                    let rs = k % 4;
+                    let mut s = Scenario::new(
+                        format!("ring_lane{k}"),
+                        ShellConfig::strict(),
+                        RunGoal::UntilFirings {
+                            process: 0,
+                            target: 80,
+                            max_cycles: 50_000,
+                        },
+                        move || ring(3, rs),
+                    )
+                    .with_drain(4, 500)
+                    .with_stall_schedule(StallSchedule::new(2005, 2, k as u32));
+                    if lane_key {
+                        s = s.with_lane_key("ring3");
+                    }
+                    s
+                })
+                .collect()
+        };
+        let reference: Vec<SweepOutcome> = scenarios(false)
+            .iter()
+            .map(|s| execute(s).expect("scalar ring completes"))
+            .collect();
+        let (outcomes, stats) = SweepRunner::new(2).run_with_stats(scenarios(true));
+        let outcomes: Vec<SweepOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("lane ring completes"))
+            .collect();
+        assert_eq!(outcomes, reference);
+        assert_eq!(stats.lane_batches, 1, "one shared netlist, one batch");
+        assert_eq!(stats.lanes_filled, 10);
+        assert_eq!(stats.lane_fallbacks, 0);
+        assert_eq!(stats.leases, 1, "the whole sweep was one work item");
+    }
+
+    /// Scenarios that differ in goal or stall family must not share a
+    /// batch, and ineligible scenarios (oracle policy, post-extraction)
+    /// stay scalar — but everything still lands in submission order.
+    #[test]
+    fn lane_grouping_respects_goal_policy_and_family_boundaries() {
+        let goal = |target| RunGoal::UntilFirings {
+            process: 0,
+            target,
+            max_cycles: 50_000,
+        };
+        let base = |label: &str, g, lane: u32, seed: u64| {
+            Scenario::<u64>::new(label, ShellConfig::strict(), g, || ring(2, 1))
+                .with_lane_key("ring2")
+                .with_stall_schedule(StallSchedule::new(seed, 1, lane))
+        };
+        let scenarios = vec![
+            base("a", goal(50), 0, 7),
+            base("b", goal(50), 1, 7),
+            base("c", goal(90), 0, 7),  // different goal -> own batch
+            base("d", goal(50), 2, 11), // different family -> own batch
+            Scenario::<u64>::new("e", ShellConfig::oracle(), goal(50), || ring(2, 1))
+                .with_lane_key("ring2"), // oracle -> scalar
+        ];
+        let (outcomes, stats) = SweepRunner::new(1).run_with_stats(scenarios);
+        let labels: Vec<String> = outcomes
+            .iter()
+            .map(|o| o.as_ref().expect("completes").label.clone())
+            .collect();
+        assert_eq!(labels, ["a", "b", "c", "d", "e"]);
+        assert_eq!(stats.lane_batches, 3, "{{a,b}}, {{c}}, {{d}}");
+        assert_eq!(stats.lanes_filled, 4);
+        assert_eq!(stats.lane_fallbacks, 0);
+    }
+
+    /// A lane key that lies — the built systems differ structurally — trips
+    /// the execution-time defense: the batch is demoted to the scalar
+    /// kernel and still produces the correct per-scenario outcomes.
+    #[test]
+    fn structural_mismatch_falls_back_to_the_scalar_kernel() {
+        let scenarios: Vec<Scenario<u64>> = (2..4usize)
+            .map(|stages| {
+                Scenario::new(
+                    format!("ring_m{stages}"),
+                    ShellConfig::strict(),
+                    RunGoal::UntilFirings {
+                        process: 0,
+                        target: 60,
+                        max_cycles: 50_000,
+                    },
+                    move || ring(stages, 1),
+                )
+                .with_lane_key("lying_key")
+            })
+            .collect();
+        let reference: Vec<SweepOutcome> = scenarios
+            .iter()
+            .map(|s| execute(s).expect("ring completes"))
+            .collect();
+        let (outcomes, stats) = SweepRunner::new(2).run_with_stats(scenarios);
+        let outcomes: Vec<SweepOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("ring completes"))
+            .collect();
+        assert_eq!(outcomes, reference);
+        assert_eq!(stats.lane_batches, 0);
+        assert_eq!(stats.lanes_filled, 0);
+        assert_eq!(stats.lane_fallbacks, 2);
+    }
+
+    /// Lane batches propagate per-lane errors with the scenario's label,
+    /// exactly like the scalar path.
+    #[test]
+    fn lane_batch_errors_carry_the_scenario_label() {
+        let scenarios: Vec<Scenario<u64>> = (0..3usize)
+            .map(|k| {
+                Scenario::new(
+                    format!("short_{k}"),
+                    ShellConfig::strict(),
+                    RunGoal::UntilFirings {
+                        process: 0,
+                        target: 1_000,
+                        max_cycles: 20,
+                    },
+                    move || ring(2, k),
+                )
+                .with_lane_key("ring2")
+            })
+            .collect();
+        let (outcomes, stats) = SweepRunner::new(1).run_with_stats(scenarios);
+        assert_eq!(stats.lane_batches, 1);
+        for (k, outcome) in outcomes.iter().enumerate() {
+            let err = outcome.as_ref().expect_err("budget exceeded");
+            assert_eq!(err.label, format!("short_{k}"));
+            assert!(matches!(err.error, SimError::MaxCyclesExceeded { .. }));
+        }
     }
 
     /// Pins the steal-size contract: at most half of the victim's

@@ -1,0 +1,366 @@
+//! Property tests pinning the lane-packed bit-parallel kernel to the scalar
+//! kernel, lane by lane.
+//!
+//! A [`LaneLidSimulator`] steps up to 64 scenario instances of one netlist
+//! through `u64` control planes; every lane must be **bit-identical** — goal
+//! cycles, per-process firings, quiescence behaviour, error outcomes and the
+//! full [`wp_sim::LidReport`] — to a scalar [`LidSimulator`] run of the same
+//! scenario (same relay stations, same stall schedule, same goal and drain).
+//! Random systems, relay budgets, stall schedules and lane counts are drawn
+//! here; the sweep-layer tests additionally cover ragged (> 64 scenario)
+//! batches and a single-scenario batch.
+
+use proptest::prelude::*;
+
+use wp_core::{Process, ShellConfig};
+use wp_sim::{
+    LaneLidSimulator, LaneScenario, LidSimulator, RunGoal, Scenario, StallSchedule, SweepRunner,
+    SystemBuilder, MAX_LANES,
+};
+
+/// A minimal always-firing ring stage.
+#[derive(Debug, Clone)]
+struct Stage {
+    name: String,
+    value: u64,
+}
+
+impl Stage {
+    fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            value: 0,
+        }
+    }
+}
+
+impl Process<u64> for Stage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.value
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        if let Some(v) = inputs[0] {
+            self.value = v.wrapping_add(1);
+        }
+    }
+    fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// A source that emits `count` values and then halts — drives the
+/// `UntilHalt` goal and the shared halt script of the lane kernel.
+#[derive(Debug, Clone)]
+struct FiniteSource {
+    emitted: u64,
+    count: u64,
+}
+
+impl Process<u64> for FiniteSource {
+    fn name(&self) -> &str {
+        "src"
+    }
+    fn num_inputs(&self) -> usize {
+        0
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.emitted
+    }
+    fn fire(&mut self, _inputs: &[Option<u64>]) {
+        self.emitted += 1;
+    }
+    fn is_halted(&self) -> bool {
+        self.emitted >= self.count
+    }
+    fn reset(&mut self) {
+        self.emitted = 0;
+    }
+}
+
+/// A terminating sink that accepts everything and drives nothing.
+#[derive(Debug, Clone)]
+struct Sink {
+    last: u64,
+}
+
+impl Process<u64> for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        0
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.last
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        if let Some(v) = inputs[0] {
+            self.last = v;
+        }
+    }
+    fn reset(&mut self) {
+        self.last = 0;
+    }
+}
+
+/// A ring of `stages` stages; relay stations are assigned per scenario.
+fn ring(stages: usize) -> SystemBuilder<u64> {
+    let mut b = SystemBuilder::new();
+    let ids: Vec<_> = (0..stages)
+        .map(|i| b.add_process(Box::new(Stage::new(format!("s{i}")))))
+        .collect();
+    for i in 0..stages {
+        b.connect(format!("e{i}"), ids[i], 0, ids[(i + 1) % stages], 0, 0);
+    }
+    b
+}
+
+/// A halting pipeline: a finite source feeding a forwarding stage feeding a
+/// terminating sink.
+fn pipeline(count: u64) -> SystemBuilder<u64> {
+    let mut b = SystemBuilder::new();
+    let src = b.add_process(Box::new(FiniteSource { emitted: 0, count }));
+    let fwd = b.add_process(Box::new(Stage::new("fwd")));
+    let sink = b.add_process(Box::new(Sink { last: 0 }));
+    b.connect("src_fwd", src, 0, fwd, 0, 0);
+    b.connect("fwd_sink", fwd, 0, sink, 0, 0);
+    b
+}
+
+/// `splitmix64` — derives per-lane relay budgets from the case seed so one
+/// `u64` drives an arbitrarily shaped batch.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The per-lane scenarios of a batch: relay budgets drawn from `seed`, a
+/// stall schedule per lane when `level > 0`.
+fn make_lanes(lanes: usize, channels: usize, seed: u64, level: u32) -> Vec<LaneScenario> {
+    (0..lanes)
+        .map(|l| LaneScenario {
+            relay_stations: (0..channels)
+                .map(|c| (mix(seed ^ ((l as u64) << 32) ^ c as u64) % 4) as usize)
+                .collect(),
+            stall: (level > 0).then(|| StallSchedule::new(seed, level, l as u32)),
+        })
+        .collect()
+}
+
+/// Runs the scalar kernel over one lane's scenario and returns what the
+/// lane must reproduce: `Ok((cycles_to_goal, report))` or the error's debug
+/// form (`SimError` is not `PartialEq`).
+fn scalar_reference(
+    build: impl Fn() -> SystemBuilder<u64>,
+    lane: &LaneScenario,
+    goal: RunGoal,
+    drain: Option<(u64, u64)>,
+) -> Result<(u64, wp_sim::LidReport), String> {
+    let mut builder = build();
+    for (c, &rs) in lane.relay_stations.iter().enumerate() {
+        builder.set_relay_stations(c, rs);
+    }
+    let mut sim = LidSimulator::new(builder, ShellConfig::strict()).expect("scalar builds");
+    sim.set_trace_enabled(false);
+    sim.set_stall_schedule(lane.stall);
+    let run: Result<u64, wp_sim::SimError> = match goal {
+        RunGoal::UntilHalt {
+            process,
+            max_cycles,
+        } => sim.run_until_halt(process, max_cycles),
+        RunGoal::UntilFirings {
+            process,
+            target,
+            max_cycles,
+        } => sim.run_until_firings(process, target, max_cycles),
+        RunGoal::ForCycles(cycles) => sim.run_for(cycles).map(|_| sim.cycles()),
+    };
+    match run {
+        Ok(cycles_to_goal) => {
+            if let Some((idle, extra)) = drain {
+                sim.drain(idle, extra).expect("scalar drains");
+            }
+            Ok((cycles_to_goal, sim.report()))
+        }
+        Err(e) => Err(format!("{e:?}")),
+    }
+}
+
+/// Runs the lane kernel over the whole batch and checks every lane against
+/// its scalar reference.
+fn assert_lanes_match_scalar(
+    build: impl Fn() -> SystemBuilder<u64>,
+    lanes: &[LaneScenario],
+    goal: RunGoal,
+    drain: Option<(u64, u64)>,
+) {
+    let mut kernel =
+        LaneLidSimulator::new(build(), lanes, ShellConfig::strict()).expect("kernel builds");
+    let outcomes = kernel.run(goal, drain);
+    assert_eq!(outcomes.len(), lanes.len());
+    for (l, (outcome, lane)) in outcomes.iter().zip(lanes).enumerate() {
+        match (outcome, scalar_reference(&build, lane, goal, drain)) {
+            (Ok(got), Ok((cycles_to_goal, report))) => {
+                assert_eq!(got.cycles_to_goal, cycles_to_goal, "lane {l} goal cycles");
+                assert_eq!(got.report, report, "lane {l} report");
+            }
+            (Err(got), Err(want)) => {
+                assert_eq!(format!("{got:?}"), want, "lane {l} error");
+            }
+            (got, want) => panic!("lane {l}: kernel {got:?} vs scalar {want:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Free-running rings under the firings goal: any stage count, any lane
+    // count 1–64 (ragged widths included), any relay budgets, any stall
+    // family.
+    #[test]
+    fn ring_lanes_match_scalar_runs(
+        stages in 2usize..5,
+        lanes in 1usize..MAX_LANES + 1,
+        seed in any::<u64>(),
+        level in 0u32..3,
+        target in 20u64..70,
+        drain in prop::option::of((1u64..5, 40u64..120)),
+    ) {
+        let goal = RunGoal::UntilFirings { process: 0, target, max_cycles: 50_000 };
+        let batch = make_lanes(lanes, stages, seed, level);
+        assert_lanes_match_scalar(|| ring(stages), &batch, goal, drain);
+    }
+
+    // Fixed-horizon runs (`ForCycles` performs no deadlock or budget
+    // checks — the lane kernel must not either).
+    #[test]
+    fn fixed_horizon_lanes_match_scalar_runs(
+        lanes in 1usize..17,
+        seed in any::<u64>(),
+        level in 0u32..4,
+        cycles in 1u64..120,
+    ) {
+        let goal = RunGoal::ForCycles(cycles);
+        let batch = make_lanes(lanes, 3, seed, level);
+        assert_lanes_match_scalar(|| ring(3), &batch, goal, None);
+    }
+
+    // Halting pipelines under the halt goal: the shared halt script must
+    // reproduce each lane's halt cycle and quiescence exactly, including
+    // lanes that exhaust a tight cycle budget instead.
+    #[test]
+    fn halting_lanes_match_scalar_runs(
+        lanes in 1usize..17,
+        seed in any::<u64>(),
+        level in 0u32..3,
+        count in 1u64..20,
+        max_cycles in 30u64..400,
+        drain in prop::option::of((1u64..5, 20u64..80)),
+    ) {
+        let goal = RunGoal::UntilHalt { process: 0, max_cycles };
+        let batch = make_lanes(lanes, 2, seed, level);
+        assert_lanes_match_scalar(|| pipeline(count), &batch, goal, drain);
+    }
+}
+
+/// A full-width batch plus a ragged remainder through the sweep layer: 64 +
+/// 6 lane-key'd scenarios must split into two batches and still match the
+/// scalar outcomes exactly.
+#[test]
+fn ragged_sweep_batches_match_scalar_outcomes() {
+    let scenarios = |lane_key: bool| -> Vec<Scenario<u64>> {
+        (0..MAX_LANES + 6)
+            .map(|k| {
+                let rs = k % 5;
+                let mut s = Scenario::new(
+                    format!("lane_{k}"),
+                    ShellConfig::strict(),
+                    RunGoal::UntilFirings {
+                        process: 0,
+                        target: 40,
+                        max_cycles: 50_000,
+                    },
+                    move || {
+                        let mut b = ring(3);
+                        b.set_relay_stations(0, rs);
+                        b
+                    },
+                )
+                .with_stall_schedule(StallSchedule::new(
+                    41,
+                    1,
+                    (k % MAX_LANES) as u32,
+                ));
+                if lane_key {
+                    s = s.with_lane_key("ragged");
+                }
+                s
+            })
+            .collect()
+    };
+    let reference = SweepRunner::new(2).run(scenarios(false));
+    let (outcomes, stats) = SweepRunner::new(3).run_with_stats(scenarios(true));
+    assert_eq!(
+        stats.lane_batches, 2,
+        "a full batch plus a ragged remainder"
+    );
+    assert_eq!(stats.lanes_filled, (MAX_LANES + 6) as u64);
+    assert_eq!(stats.lane_fallbacks, 0);
+    for (got, want) in outcomes.iter().zip(&reference) {
+        let got = got.as_ref().expect("lane sweep completes");
+        let want = want.as_ref().expect("scalar sweep completes");
+        assert_eq!(got, want);
+    }
+}
+
+/// A single lane-key'd scenario forms a one-lane batch and still runs on
+/// the bit-parallel kernel, matching its scalar outcome.
+#[test]
+fn single_scenario_batch_matches_scalar_outcome() {
+    let scenario = |lane_key: bool| -> Vec<Scenario<u64>> {
+        let mut s = Scenario::<u64>::new(
+            "solo",
+            ShellConfig::strict(),
+            RunGoal::UntilFirings {
+                process: 0,
+                target: 50,
+                max_cycles: 50_000,
+            },
+            || {
+                let mut b = ring(2);
+                b.set_relay_stations(1, 2);
+                b
+            },
+        );
+        if lane_key {
+            s = s.with_lane_key("solo");
+        }
+        vec![s]
+    };
+    let reference = SweepRunner::new(1).run(scenario(false));
+    let (outcomes, stats) = SweepRunner::new(1).run_with_stats(scenario(true));
+    assert_eq!(stats.lane_batches, 1);
+    assert_eq!(stats.lanes_filled, 1);
+    assert_eq!(
+        outcomes[0].as_ref().expect("solo completes"),
+        reference[0].as_ref().expect("solo completes"),
+    );
+}
