@@ -16,7 +16,15 @@
 //!   (control-plane-only, see the README's *Lane-packed simulation*) are
 //!   stepped 64-per-instruction, and everything else silently falls back
 //!   to the scalar kernel, so results are identical either way.  `off`
-//!   never tags, pinning the scalar path.
+//!   never tags, pinning the scalar path;
+//! * `--oracle on|off|auto` — whether eligible strict-policy (WP1) runs
+//!   are re-expressed as firing goals and allowed to extrapolate their
+//!   steady state with the analytical period oracle
+//!   (`wp_sim::Scenario::with_oracle`, see the README's *Analytical
+//!   oracle*).  `off` (the default) simulates everything plainly; `on`
+//!   extrapolates (bit-identical cycle counts, orders of magnitude fewer
+//!   simulated cycles); `auto` additionally re-runs one converted row by
+//!   full simulation and fails on any mismatch.
 //!
 //! The sharding binaries (`table1`, `figure1`, `ablation_fifo`,
 //! `ablation_oracle`) additionally accept the process-sharding flags
@@ -170,7 +178,57 @@ impl LaneMode {
     }
 }
 
-/// Parsed `--workers` / `--batch` / `--lanes` scheduler flags.
+/// The `--oracle` modes: whether the experiment binaries re-express their
+/// eligible strict-policy (WP1) runs as firing goals and let the period
+/// oracle extrapolate the steady state
+/// (`wp_sim::LidSimulator::run_until_firings_extrapolated`).
+///
+/// Extrapolation never changes a reported cycle or firing count — the
+/// oracle verifies a full period before extrapolating and falls back to
+/// plain simulation otherwise (the CI byte-for-byte diff of `table1
+/// --quick --oracle on` vs `--oracle off` pins this).  The default is
+/// `off`, unlike `--lanes`, because oracle rows skip the post-run memory
+/// read-back (an extrapolated run's architectural state is frozen at the
+/// last simulated cycle): the cycle columns are bit-identical, but one
+/// cross-check fewer runs, so extrapolation stays an explicit opt-in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OracleMode {
+    /// Convert every eligible WP1 run to an extrapolating firing goal.
+    On,
+    /// The default: plain simulation everywhere.
+    #[default]
+    Off,
+    /// As [`OracleMode::On`], plus an empirical spot-check: `table1`
+    /// re-runs its first converted row by full simulation and fails on any
+    /// cycle-count mismatch (the ring experiments treat `auto` as `on`;
+    /// their extrapolation exactness is pinned by the `wp_sim` tests).
+    Auto,
+}
+
+impl OracleMode {
+    /// Whether eligible WP1 runs should be converted to extrapolating
+    /// firing goals.
+    pub fn converts_rows(self) -> bool {
+        !matches!(self, OracleMode::Off)
+    }
+
+    /// Whether one converted row should additionally be re-run by full
+    /// simulation and compared ([`OracleMode::Auto`]).
+    pub fn spot_verifies(self) -> bool {
+        matches!(self, OracleMode::Auto)
+    }
+
+    /// The command-line spelling of this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleMode::On => "on",
+            OracleMode::Off => "off",
+            OracleMode::Auto => "auto",
+        }
+    }
+}
+
+/// Parsed `--workers` / `--batch` / `--lanes` / `--oracle` scheduler flags.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepArgs {
     /// Worker thread count (`0` = available parallelism).
@@ -179,6 +237,8 @@ pub struct SweepArgs {
     pub batch: usize,
     /// Lane-packing mode (`--lanes on|off|auto`, default `auto`).
     pub lanes: LaneMode,
+    /// Period-oracle mode (`--oracle on|off|auto`, default `off`).
+    pub oracle: OracleMode,
 }
 
 impl SweepArgs {
@@ -225,10 +285,26 @@ impl SweepArgs {
                 }
             },
         };
+        let oracle = match flag_value(args, "--oracle")? {
+            None => OracleMode::Off,
+            Some(v) => match v.as_str() {
+                "on" => OracleMode::On,
+                "off" => OracleMode::Off,
+                "auto" => OracleMode::Auto,
+                _ => {
+                    return Err(ArgError::InvalidValue {
+                        flag: "--oracle".to_string(),
+                        value: v,
+                        expected: "one of on, off, auto",
+                    })
+                }
+            },
+        };
         Ok(Self {
             workers: parse("--workers")?,
             batch: parse("--batch")?,
             lanes,
+            oracle,
         })
     }
 
@@ -594,6 +670,27 @@ mod tests {
         let err = SweepArgs::from_args(&strings(&["--lanes=maybe"])).unwrap_err();
         assert!(err.to_string().contains("on, off, auto"), "{err}");
         assert!(SweepArgs::from_args(&strings(&["--lanes"])).is_err());
+    }
+
+    #[test]
+    fn oracle_modes_parse_default_off_and_reject_garbage() {
+        let args = SweepArgs::from_args(&strings(&["--quick"])).expect("parses");
+        assert_eq!(args.oracle, OracleMode::Off, "extrapolation is opt-in");
+        for (spelling, mode, converts, spot) in [
+            ("on", OracleMode::On, true, false),
+            ("off", OracleMode::Off, false, false),
+            ("auto", OracleMode::Auto, true, true),
+        ] {
+            let args =
+                SweepArgs::from_args(&strings(&["--oracle", spelling, "--quick"])).expect("parses");
+            assert_eq!(args.oracle, mode);
+            assert_eq!(args.oracle.converts_rows(), converts);
+            assert_eq!(args.oracle.spot_verifies(), spot);
+            assert_eq!(args.oracle.label(), spelling);
+        }
+        let err = SweepArgs::from_args(&strings(&["--oracle=maybe"])).unwrap_err();
+        assert!(err.to_string().contains("on, off, auto"), "{err}");
+        assert!(SweepArgs::from_args(&strings(&["--oracle"])).is_err());
     }
 
     #[test]

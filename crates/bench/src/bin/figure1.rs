@@ -11,32 +11,45 @@
 //! `--emit-ndjson`), merging to byte-identical output.
 
 use wp_bench::{
-    predict_wp1_throughput, soc_scenario, sort_workload, LaneMode, ShardArgs, SweepArgs, MAX_CYCLES,
+    predict_wp1_throughput, soc_oracle_scenario, soc_scenario, sort_workload, LaneMode, ShardArgs,
+    SweepArgs, MAX_CYCLES,
 };
 use wp_core::SyncPolicy;
-use wp_netlist::{analyze_loops, loop_inventory, to_dot, DEFAULT_MAX_LOOPS};
+use wp_netlist::{loop_inventory, to_dot, ThroughputModel, DEFAULT_MAX_LOOPS};
 use wp_proc::{build_soc, run_golden_soc, Link, Organization, RsConfig, Workload};
 use wp_sim::Scenario;
 
 /// The per-link WP1 scenarios, in `Link::ALL` submission order (the global
 /// row numbering shared by the sharding parent and its workers).  With
-/// `--lanes on|auto` every scenario carries a lane key; these scenarios
-/// read the memory back after the run, so the sweep demotes them to the
-/// scalar kernel either way and the printed table is mode-independent.
+/// `--lanes on|auto` every scenario carries a lane key; plainly-simulated
+/// scenarios read the memory back after the run, so the sweep demotes them
+/// to the scalar kernel and the printed table is mode-independent.
+///
+/// `oracle_target` is `Some(golden_cycles)` under `--oracle on|auto`: each
+/// run is then built as its extrapolating twin (`soc_oracle_scenario`,
+/// with the halt goal re-expressed as a firing goal), which reports the
+/// same cycle count while simulating orders of magnitude fewer cycles.
 fn link_scenarios(
     workload: &Workload,
     lanes: LaneMode,
+    oracle_target: Option<u64>,
 ) -> Vec<Scenario<wp_proc::Msg, wp_proc::SocState>> {
     Link::ALL
         .iter()
         .map(|&link| {
-            let scenario = soc_scenario(
-                link.label(),
-                workload,
-                Organization::Pipelined,
-                RsConfig::single(link, 1),
-                SyncPolicy::Strict,
-            );
+            let rs = RsConfig::single(link, 1);
+            let scenario = match oracle_target {
+                Some(target) => {
+                    soc_oracle_scenario(link.label(), workload, Organization::Pipelined, rs, target)
+                }
+                None => soc_scenario(
+                    link.label(),
+                    workload,
+                    Organization::Pipelined,
+                    rs,
+                    SyncPolicy::Strict,
+                ),
+            };
             if lanes.tags_lanes() {
                 scenario.with_lane_key("figure1/wp1")
             } else {
@@ -62,11 +75,20 @@ fn print_analytics(workload: &Workload) {
         &RsConfig::uniform(1, &[Link::CuIc]),
     );
     let net = builder.to_netlist();
-    let analysis = analyze_loops(&net, DEFAULT_MAX_LOOPS);
+    let analysis = ThroughputModel::Enumerated {
+        max_loops: DEFAULT_MAX_LOOPS,
+    }
+    .analyze(&net);
+    if !analysis.is_exhaustive() {
+        eprintln!(
+            "warning: loop inventory truncated at {DEFAULT_MAX_LOOPS} loops; \
+             the printed system throughput comes from the exact solver"
+        );
+    }
     println!("{}", loop_inventory(&net, &analysis));
     println!(
         "worst-loop (system) throughput predicted for WP1: {:.3}",
-        analysis.system_throughput()
+        ThroughputModel::Exact.predict(&net)
     );
 }
 
@@ -97,11 +119,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if shard.emit_ndjson {
         // Worker mode: run only this shard's link range, one NDJSON record
-        // per link.
+        // per link.  Under --oracle the worker computes the golden
+        // denominator itself (it is the firing target of every converted
+        // scenario, and workers never receive the parent's).
+        let oracle_target = sweep
+            .oracle
+            .converts_rows()
+            .then(|| run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES))
+            .transpose()?
+            .map(|golden| golden.cycles);
         let range = shard.worker_range(n);
-        let outcomes = sweep
-            .runner()
-            .run_range(link_scenarios(&workload, sweep.lanes), range.clone());
+        let outcomes = sweep.runner().run_range(
+            link_scenarios(&workload, sweep.lanes, oracle_target),
+            range.clone(),
+        );
         for (index, outcome) in range.zip(outcomes) {
             let outcome = outcome?;
             println!(
@@ -115,6 +146,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     print_analytics(&workload);
     let golden = run_golden_soc(&workload, Organization::Pipelined, MAX_CYCLES)?;
+    let oracle_target = sweep.oracle.converts_rows().then_some(golden.cycles);
 
     let cycles: Vec<u64> = if shard.is_parent() {
         let records = shard.run_sharded_rows(n, "per-link run", None)?;
@@ -128,9 +160,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect::<Result<_, Box<dyn std::error::Error>>>()?
     } else {
-        sweep
-            .runner()
-            .run(link_scenarios(&workload, sweep.lanes))
+        let (outcomes, stats) =
+            sweep
+                .runner()
+                .run_with_stats(link_scenarios(&workload, sweep.lanes, oracle_target));
+        if oracle_target.is_some() {
+            let simulated = stats.oracle_simulated_cycles;
+            let total = simulated + stats.oracle_extrapolated_cycles;
+            eprintln!(
+                "oracle: simulated {simulated} of {total} WP1 cycles, {} extrapolation(s), \
+                 {} fallback(s)",
+                stats.oracle_extrapolations, stats.oracle_fallbacks,
+            );
+        }
+        outcomes
             .into_iter()
             .map(|outcome| outcome.map(|o| o.cycles_to_goal))
             .collect::<Result<_, _>>()?

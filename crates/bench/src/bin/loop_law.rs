@@ -5,12 +5,17 @@
 //!
 //! All ring simulations (the m × n grid plus the oracle-relaxation column)
 //! are swept across worker threads by `wp_sim::SweepRunner`'s work-stealing
-//! scheduler; control it with `--workers N` and `--batch N`.
+//! scheduler; control it with `--workers N` and `--batch N`.  With
+//! `--oracle on|auto` every scenario is tagged for the steady-state period
+//! oracle: eligible strict-policy runs extrapolate their tails (the
+//! printed table is identical — extrapolation is exact, pinned by the
+//! `wp_sim` tests — and the saving is reported on stderr), while
+//! oracle-policy rings fall back to plain simulation and are counted.
 
-use wp_bench::{ring_scenario, SweepArgs};
+use wp_bench::{ring_scenario, OracleMode, SweepArgs};
 use wp_core::SyncPolicy;
-use wp_netlist::loop_throughput;
-use wp_sim::{SweepError, SweepOutcome};
+use wp_netlist::ThroughputModel;
+use wp_sim::{Scenario, SweepError, SweepOutcome, SweepRunner, SweepStats};
 
 const FIRINGS: u64 = 2_000;
 
@@ -18,8 +23,36 @@ fn throughput(outcome: &SweepOutcome) -> f64 {
     outcome.report.throughput_of(0)
 }
 
+/// Runs one sweep, tagging every scenario for the period oracle when the
+/// `--oracle` mode asks for it, and accumulates the sweep counters.
+fn sweep(
+    runner: &SweepRunner,
+    oracle: OracleMode,
+    scenarios: Vec<Scenario<u64>>,
+    stats: &mut SweepStats,
+) -> Result<Vec<SweepOutcome>, SweepError> {
+    let scenarios = scenarios
+        .into_iter()
+        .map(|s| {
+            if oracle.converts_rows() {
+                s.with_oracle()
+            } else {
+                s
+            }
+        })
+        .collect();
+    let (outcomes, sweep_stats) = runner.run_with_stats(scenarios);
+    stats.oracle_simulated_cycles += sweep_stats.oracle_simulated_cycles;
+    stats.oracle_extrapolated_cycles += sweep_stats.oracle_extrapolated_cycles;
+    stats.oracle_extrapolations += sweep_stats.oracle_extrapolations;
+    stats.oracle_fallbacks += sweep_stats.oracle_fallbacks;
+    outcomes.into_iter().collect()
+}
+
 fn main() -> Result<(), SweepError> {
-    let runner = SweepArgs::from_env().unwrap_or_else(|e| e.exit()).runner();
+    let args = SweepArgs::from_env().unwrap_or_else(|e| e.exit());
+    let runner = args.runner();
+    let mut stats = SweepStats::default();
 
     // The m × n grid: one scenario per (m, n) pair.
     let grid: Vec<(usize, usize)> = (1..=6usize)
@@ -38,10 +71,7 @@ fn main() -> Result<(), SweepError> {
             )
         })
         .collect();
-    let outcomes: Vec<SweepOutcome> = runner
-        .run(scenarios)
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+    let outcomes = sweep(&runner, args.oracle, scenarios, &mut stats)?;
 
     println!("Loop law: measured WP1 throughput vs m/(m+n)\n");
     println!(
@@ -49,7 +79,7 @@ fn main() -> Result<(), SweepError> {
         "m", "n", "law", "measured", "error"
     );
     for (&(m, n), outcome) in grid.iter().zip(&outcomes) {
-        let law = loop_throughput(m, n);
+        let law = ThroughputModel::law(m, n);
         let measured = throughput(outcome);
         println!(
             "{m:>4} {n:>4} {law:>10.3} {measured:>10.3} {:>7.1}%",
@@ -75,10 +105,7 @@ fn main() -> Result<(), SweepError> {
             })
         })
         .collect();
-    let outcomes: Vec<SweepOutcome> = runner
-        .run(scenarios)
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+    let outcomes = sweep(&runner, args.oracle, scenarios, &mut stats)?;
 
     println!("\nOracle relaxation: 2-process loop, 1 RS, loop excited every k-th firing\n");
     println!("{:>4} {:>10} {:>10}", "k", "WP1", "WP2");
@@ -86,6 +113,15 @@ fn main() -> Result<(), SweepError> {
         let wp1 = &outcomes[2 * i];
         let wp2 = &outcomes[2 * i + 1];
         println!("{k:>4} {:>10.3} {:>10.3}", throughput(wp1), throughput(wp2));
+    }
+    if args.oracle.converts_rows() {
+        let simulated = stats.oracle_simulated_cycles;
+        let total = simulated + stats.oracle_extrapolated_cycles;
+        eprintln!(
+            "oracle: simulated {simulated} of {total} cycles, {} extrapolation(s), \
+             {} fallback(s)",
+            stats.oracle_extrapolations, stats.oracle_fallbacks,
+        );
     }
     Ok(())
 }

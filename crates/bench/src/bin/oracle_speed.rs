@@ -1,0 +1,151 @@
+//! Measures the steady-state period oracle against plain simulation and
+//! writes the machine-readable `BENCH_oracle.json` report that the CI perf
+//! gate (`bench_compare`) checks against the committed baseline.
+//!
+//! For each full Table-1 workload (Extraction Sort and Matrix Multiply)
+//! the same WP1 run — the control unit's halt goal re-expressed as its
+//! golden firing count — is executed twice, plainly
+//! (`LidSimulator::run_until_firings`) and with extrapolation
+//! (`LidSimulator::run_until_firings_extrapolated`), after asserting the
+//! two report the identical goal cycle.  The row's `th_wp1` field carries
+//! the cycle saving (total cycles over simulated cycles — a deterministic,
+//! machine-independent ratio) and `th_wp2` the wall-clock speedup; both
+//! are gated by `bench_compare`.  The raw timings land in the cycle
+//! columns for context only.
+//!
+//! Usage: `oracle_speed [--iters N] [--json PATH]`
+//!
+//! Defaults: `--iters 3` (each side is timed `N` times and the fastest
+//! run wins, damping scheduler noise) and `--json BENCH_oracle.json`.
+
+use std::time::Instant;
+
+use wp_bench::{
+    bench_report_json, flag_value, json_f64, matmul_workload, sort_workload, BenchTable, TableRow,
+    MAX_CYCLES,
+};
+use wp_core::ShellConfig;
+use wp_proc::{build_soc, run_golden_soc, Link, Organization, RsConfig, Workload, CU};
+use wp_sim::{LidSimulator, OracleRun};
+
+/// Times `f` over `iters` runs and returns the fastest wall-clock seconds.
+fn time_best<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        drop(result);
+    }
+    best
+}
+
+/// One WP1 run simulated plainly to the firing goal.
+fn run_plain(workload: &Workload, rs: &RsConfig, target: u64) -> u64 {
+    let builder = build_soc(workload, Organization::Pipelined, rs);
+    let mut sim = LidSimulator::new(builder, ShellConfig::strict()).expect("SoC assembles");
+    sim.set_trace_enabled(false);
+    sim.run_until_firings(CU, target, MAX_CYCLES)
+        .expect("SoC run completes")
+}
+
+/// The same WP1 run with the period oracle allowed to extrapolate.
+fn run_oracle(workload: &Workload, rs: &RsConfig, target: u64) -> OracleRun {
+    let builder = build_soc(workload, Organization::Pipelined, rs);
+    let mut sim = LidSimulator::new(builder, ShellConfig::strict()).expect("SoC assembles");
+    sim.set_trace_enabled(false);
+    sim.run_until_firings_extrapolated(CU, target, MAX_CYCLES)
+        .expect("SoC run completes")
+}
+
+/// Measures one workload: verifies oracle-vs-plain equality, times both
+/// sides and returns the report row.
+fn measure(label: &str, workload: &Workload, rs: &RsConfig, iters: u32) -> TableRow {
+    let target = run_golden_soc(workload, Organization::Pipelined, MAX_CYCLES)
+        .expect("golden run completes")
+        .cycles;
+    let plain_cycles = run_plain(workload, rs, target);
+    let oracle = run_oracle(workload, rs, target);
+    assert_eq!(
+        oracle.report.cycles, plain_cycles,
+        "{label}: the oracle must report the plainly-simulated goal cycle"
+    );
+    assert!(
+        oracle.extrapolated,
+        "{label}: the WP1 steady state must be detected and extrapolated"
+    );
+    let cycle_saving = oracle.report.cycles as f64 / oracle.simulated_cycles.max(1) as f64;
+
+    let plain_seconds = time_best(iters, || run_plain(workload, rs, target));
+    let oracle_seconds = time_best(iters, || run_oracle(workload, rs, target));
+    let speedup = plain_seconds / oracle_seconds;
+    println!(
+        "{label}: simulated {} of {} cycles ({cycle_saving:.1}x), plain {:.2} ms, \
+         oracle {:.2} ms, speedup {speedup:.2}x",
+        oracle.simulated_cycles,
+        oracle.report.cycles,
+        1e3 * plain_seconds,
+        1e3 * oracle_seconds,
+    );
+
+    // TableRow is reused so `bench_compare` gates this report unchanged:
+    // th_wp1 carries the deterministic cycle-saving ratio, th_wp2 the
+    // wall-clock speedup, and the cycle columns the raw timings in
+    // microseconds (context only, not gated — zero/negative baselines are
+    // skipped by design).
+    TableRow {
+        label: label.to_string(),
+        golden_cycles: oracle.report.cycles,
+        wp1_cycles: (1e6 * plain_seconds) as u64,
+        wp2_cycles: (1e6 * oracle_seconds) as u64,
+        th_wp1: cycle_saving,
+        th_wp2: speedup,
+        th_wp1_predicted: 0.0,
+        improvement_percent: 0.0,
+        proven_n_wp1: None,
+        proven_n_wp2: None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name| flag_value(&args, name).unwrap_or_else(|e| e.exit());
+    let iters: u32 = match flag("--iters") {
+        None => 3,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --iters expects a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    };
+    let json = flag("--json").unwrap_or_else(|| "BENCH_oracle.json".to_string());
+
+    let start = Instant::now();
+    let rows = vec![
+        measure(
+            "Extraction Sort (16) WP1",
+            &sort_workload(),
+            &RsConfig::uniform(1, &[Link::CuIc]),
+            iters,
+        ),
+        measure(
+            "Matrix Multiply (5x5) WP1",
+            &matmul_workload(),
+            &RsConfig::uniform(2, &[Link::CuIc]),
+            iters,
+        ),
+    ];
+    let worst = rows.iter().map(|r| r.th_wp2).fold(f64::INFINITY, f64::min);
+    println!("worst oracle speedup: {}x", json_f64(worst));
+
+    let tables = vec![BenchTable {
+        title: "Period oracle vs plain simulation (WP1, full workloads)".to_string(),
+        rows,
+    }];
+    let report = bench_report_json("oracle", 1, 0, start.elapsed().as_secs_f64(), &tables);
+    std::fs::write(&json, report)?;
+    eprintln!("wrote machine-readable report to {json}");
+    Ok(())
+}

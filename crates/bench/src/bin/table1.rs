@@ -13,8 +13,9 @@
 //! sweeps*).
 //!
 //! Usage: `table1 [--program sort|matmul|both] [--quick] [--verify]
-//! [--workers N] [--batch N] [--lanes on|off|auto] [--json PATH]
-//! [--shards N | --hosts hosts.conf | --shard i/N] [--emit-ndjson]`
+//! [--workers N] [--batch N] [--lanes on|off|auto] [--oracle on|off|auto]
+//! [--json PATH] [--shards N | --hosts hosts.conf | --shard i/N]
+//! [--emit-ndjson]`
 //!
 //! `--lanes on` (and the default `auto`) tags every scenario for the
 //! lane-packed bit-parallel kernel; table rows read the architectural
@@ -22,6 +23,14 @@
 //! control-plane kernel, so the scheduler demotes each to the scalar
 //! kernel and the output is byte-identical to `--lanes off` (CI diffs the
 //! two on every push).
+//!
+//! `--oracle on` re-expresses every WP1 (strict) run as a firing goal and
+//! lets the period oracle extrapolate its steady state: the printed rows
+//! are byte-identical to `--oracle off` (CI diffs the two) while orders of
+//! magnitude fewer cycles are simulated — the saving is reported on
+//! stderr.  `--oracle auto` additionally re-runs one converted row by full
+//! simulation and fails on any cycle-count mismatch.  `--verify` wins
+//! over the oracle: verified tables always simulate fully.
 //!
 //! `--quick` shrinks the workloads and the configuration sweep to a few
 //! seconds of wall-clock and writes the machine-readable report
@@ -38,12 +47,12 @@
 use std::time::Instant;
 
 use wp_bench::{
-    bench_report_json, flag_value, format_table, matmul_workload, run_table_lanes, sort_workload,
+    bench_report_json, flag_value, format_table, matmul_workload, run_table_oracle, sort_workload,
     table1_base_configs, table1_two_rs_configs, table_row_from_json, table_row_ndjson, BenchTable,
     ShardArgs, SweepArgs, TableRow,
 };
 use wp_proc::{extraction_sort, matrix_multiply, Organization, RsConfig, SocError, Workload};
-use wp_sim::SweepRunner;
+use wp_sim::{SweepRunner, SweepStats};
 
 struct Args {
     program: String,
@@ -158,21 +167,46 @@ fn table_specs(args: &Args) -> Vec<TableSpec> {
 }
 
 /// Dispatches a contiguous config slice of one table to the table runner
-/// with this invocation's equivalence-gate and lane-packing modes.
+/// with this invocation's equivalence-gate, lane-packing and period-oracle
+/// modes, accumulating the sweep counters into `stats`.
 fn run(
     args: &Args,
     runner: &SweepRunner,
     workload: &Workload,
     configs: &[(String, RsConfig)],
+    stats: &mut SweepStats,
 ) -> Result<Vec<TableRow>, SocError> {
-    run_table_lanes(
+    let (rows, sweep_stats) = run_table_oracle(
         runner,
         workload,
         Organization::Pipelined,
         configs,
         args.verify,
         args.sweep.lanes,
-    )
+        args.sweep.oracle,
+    )?;
+    stats.oracle_simulated_cycles += sweep_stats.oracle_simulated_cycles;
+    stats.oracle_extrapolated_cycles += sweep_stats.oracle_extrapolated_cycles;
+    stats.oracle_extrapolations += sweep_stats.oracle_extrapolations;
+    stats.oracle_fallbacks += sweep_stats.oracle_fallbacks;
+    Ok(rows)
+}
+
+/// Reports the period-oracle saving on stderr (never on stdout: the table
+/// output must stay byte-identical across `--oracle` modes).
+fn report_oracle_stats(args: &Args, stats: &SweepStats) {
+    if !args.sweep.oracle.converts_rows() {
+        return;
+    }
+    let simulated = stats.oracle_simulated_cycles;
+    let total = simulated + stats.oracle_extrapolated_cycles;
+    eprintln!(
+        "oracle: simulated {simulated} of {total} WP1 cycles ({}x saving), \
+         {} extrapolation(s), {} fallback(s)",
+        total.checked_div(simulated).unwrap_or(0),
+        stats.oracle_extrapolations,
+        stats.oracle_fallbacks,
+    );
 }
 
 /// Prints the tables and writes the machine-readable report, exactly the
@@ -201,7 +235,7 @@ fn run_local(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::erro
     let runner = args.sweep.runner();
     eprintln!(
         "sweeping wire-pipelined runs across {} worker thread(s), batch {}, equivalence gate {}, \
-         lanes {}",
+         lanes {}, oracle {}",
         runner.workers(),
         if runner.batch() == 0 {
             "auto".to_string()
@@ -210,16 +244,19 @@ fn run_local(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::erro
         },
         if args.verify { "on" } else { "off" },
         args.sweep.lanes.label(),
+        args.sweep.oracle.label(),
     );
     let start = Instant::now();
     let mut tables = Vec::new();
+    let mut stats = SweepStats::default();
     for spec in specs {
-        let rows = run(args, &runner, &spec.workload, &spec.configs)?;
+        let rows = run(args, &runner, &spec.workload, &spec.configs, &mut stats)?;
         tables.push(BenchTable {
             title: spec.title,
             rows,
         });
     }
+    report_oracle_stats(args, &stats);
     publish(args, tables, start.elapsed().as_secs_f64())?;
     Ok(())
 }
@@ -231,6 +268,7 @@ fn run_worker(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::err
     let range = args.shard.worker_range(total);
     let runner = args.sweep.runner();
     let mut offset = 0usize;
+    let mut stats = SweepStats::default();
     for (table, spec) in specs.iter().enumerate() {
         let span = offset..offset + spec.configs.len();
         let start = range.start.max(span.start);
@@ -241,6 +279,7 @@ fn run_worker(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::err
                 &runner,
                 &spec.workload,
                 &spec.configs[start - offset..end - offset],
+                &mut stats,
             )?;
             for (i, row) in rows.iter().enumerate() {
                 println!("{}", table_row_ndjson(start + i, table, row));
@@ -248,6 +287,7 @@ fn run_worker(args: &Args, specs: Vec<TableSpec>) -> Result<(), Box<dyn std::err
         }
         offset = span.end;
     }
+    report_oracle_stats(args, &stats);
     Ok(())
 }
 

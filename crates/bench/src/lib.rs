@@ -11,7 +11,7 @@ mod args;
 mod compare;
 mod json;
 
-pub use args::{flag_value, ArgError, LaneMode, ShardArgs, SweepArgs};
+pub use args::{flag_value, ArgError, LaneMode, OracleMode, ShardArgs, SweepArgs};
 pub use compare::{compare_reports, BenchComparison};
 pub use json::{
     bench_report_json, json_f64, json_opt_usize, json_string, table_row_from_json,
@@ -25,7 +25,7 @@ use wp_proc::{
 };
 use wp_sim::{
     LaneLidSimulator, LaneScenario, LidReport, LidSimulator, RunGoal, Scenario, StallSchedule,
-    SweepOutcome, SweepRunner, SystemBuilder, MAX_LANES,
+    SweepOutcome, SweepRunner, SweepStats, SystemBuilder, MAX_LANES,
 };
 
 /// Default cycle budget for SoC simulations.
@@ -186,11 +186,12 @@ pub fn optimal_config(workload: &Workload, org: Organization, k: usize) -> (Stri
 }
 
 /// Predicts the WP1 throughput of a relay-station configuration with the
-/// worst-loop law applied to the fig. 1 netlist.
+/// worst-loop law applied to the fig. 1 netlist (exact maximum-cycle-ratio
+/// solver — no enumeration cap).
 pub fn predict_wp1_throughput(workload: &Workload, org: Organization, rs: &RsConfig) -> f64 {
     let builder = wp_proc::build_soc(workload, org, rs);
     let net = builder.to_netlist();
-    wp_netlist::predicted_throughput(&net)
+    wp_netlist::ThroughputModel::Exact.predict(&net)
 }
 
 /// Builds the sweep scenario for one wire-pipelined SoC run: the workload on
@@ -231,6 +232,47 @@ pub fn soc_scenario_with_config(
     // when the CU halts; drain before reading the memory back.
     .with_drain(32, 100_000)
     .with_post(|sim| soc_state(sim).expect("scenario was built by build_soc"))
+}
+
+/// The extrapolating twin of [`soc_scenario`] for the strict (WP1) policy:
+/// the same workload and relay-station configuration, run as a sweep
+/// scenario that is allowed to extrapolate its steady state with the
+/// period oracle ([`Scenario::with_oracle`]).
+///
+/// The halt goal is re-expressed as a firing goal so the oracle applies:
+/// the golden (un-pipelined) system fires the control unit once per cycle,
+/// so the CU performs exactly `golden_cycles` firings in any equivalent
+/// run and halts on the last one — `UntilHalt` and `UntilFirings { target:
+/// golden_cycles }` stop on the very same cycle (both run loops check
+/// before stepping).  The table runner computes the golden denominator
+/// first, so the target is free.
+///
+/// The scenario carries no drain and no post-extraction: an extrapolated
+/// run's architectural state is frozen at the last simulated cycle, so
+/// only the cycle/firing report is meaningful — which is all the table
+/// reads.  The memory cross-check is skipped for these rows;
+/// `--oracle auto` compensates by re-running one row with full simulation
+/// and comparing cycle counts.
+pub fn soc_oracle_scenario(
+    label: impl Into<String>,
+    workload: &Workload,
+    org: Organization,
+    rs: RsConfig,
+    golden_cycles: u64,
+) -> Scenario<Msg, SocState> {
+    let workload = workload.clone();
+    Scenario::<Msg>::new(
+        label,
+        ShellConfig::strict(),
+        RunGoal::UntilFirings {
+            process: CU,
+            target: golden_cycles,
+            max_cycles: MAX_CYCLES,
+        },
+        move || build_soc(&workload, org, &rs),
+    )
+    .with_oracle()
+    .into_result_type()
 }
 
 /// Installs the per-scenario equivalence gate on a SoC sweep scenario: the
@@ -278,14 +320,21 @@ pub fn ring_scenario(
 /// Unwraps one SoC sweep outcome, validates the program result against the
 /// workload and — when the equivalence gate ran — requires the streamed
 /// golden-vs-pipelined comparison to have come back equivalent.
+///
+/// `memory_checked` is `false` for extrapolated oracle rows
+/// ([`soc_oracle_scenario`]): they carry no post-extracted state, so only
+/// the simulation error is checked.
 fn check_soc_outcome(
     workload: &Workload,
     outcome: Result<SweepOutcome<SocState>, wp_sim::SweepError>,
+    memory_checked: bool,
 ) -> Result<SweepOutcome<SocState>, SocError> {
     let outcome = outcome.map_err(|e| SocError::Sim(e.error))?;
-    let state = outcome.post.as_ref().ok_or(SocError::MemoryUnavailable)?;
-    if !workload.check(&state.memory[..workload.expected_memory.len()]) {
-        return Err(SocError::WrongResult);
+    if memory_checked {
+        let state = outcome.post.as_ref().ok_or(SocError::MemoryUnavailable)?;
+        if !workload.check(&state.memory[..workload.expected_memory.len()]) {
+            return Err(SocError::WrongResult);
+        }
     }
     if let Some(report) = &outcome.equivalence {
         if !report.is_equivalent() || report.is_vacuous() {
@@ -322,7 +371,16 @@ pub fn run_table_on(
     org: Organization,
     configs: &[(String, RsConfig)],
 ) -> Result<Vec<TableRow>, SocError> {
-    run_table_impl(runner, workload, org, configs, false, LaneMode::Auto)
+    run_table_impl(
+        runner,
+        workload,
+        org,
+        configs,
+        false,
+        LaneMode::Auto,
+        OracleMode::Off,
+    )
+    .map(|(rows, _)| rows)
 }
 
 /// [`run_table_on`] with the per-scenario equivalence gate enabled: every
@@ -342,7 +400,16 @@ pub fn run_table_verified(
     org: Organization,
     configs: &[(String, RsConfig)],
 ) -> Result<Vec<TableRow>, SocError> {
-    run_table_impl(runner, workload, org, configs, true, LaneMode::Auto)
+    run_table_impl(
+        runner,
+        workload,
+        org,
+        configs,
+        true,
+        LaneMode::Auto,
+        OracleMode::Off,
+    )
+    .map(|(rows, _)| rows)
 }
 
 /// [`run_table_on`] / [`run_table_verified`] with an explicit lane-packing
@@ -364,7 +431,50 @@ pub fn run_table_lanes(
     verify: bool,
     lanes: LaneMode,
 ) -> Result<Vec<TableRow>, SocError> {
-    run_table_impl(runner, workload, org, configs, verify, lanes)
+    run_table_impl(
+        runner,
+        workload,
+        org,
+        configs,
+        verify,
+        lanes,
+        OracleMode::Off,
+    )
+    .map(|(rows, _)| rows)
+}
+
+/// [`run_table_lanes`] with an explicit period-oracle mode (`--oracle`),
+/// additionally returning the sweep's scheduler counters so the binaries
+/// can report the oracle saving
+/// ([`SweepStats::oracle_extrapolated_cycles`] vs
+/// [`SweepStats::oracle_simulated_cycles`]).
+///
+/// When the mode converts rows and the equivalence gate is off, every WP1
+/// (strict) scenario is replaced by its extrapolating twin
+/// ([`soc_oracle_scenario`], with the goal re-expressed as `golden.cycles`
+/// CU firings); the produced cycle columns are bit-identical to a plain
+/// run while orders of magnitude fewer cycles are simulated (pinned
+/// byte-for-byte by CI).  `--verify` wins over the oracle: the equivalence
+/// gate streams every run against a golden twin, which the oracle's
+/// eligibility rules exclude, so verified tables always simulate fully.
+/// With [`OracleMode::Auto`] the first converted row is re-run by full
+/// simulation and any cycle-count mismatch fails the table with
+/// [`SocError::NotEquivalent`].
+///
+/// # Errors
+///
+/// Propagates any [`SocError`] from the underlying runs, including a
+/// failed `auto` spot-check.
+pub fn run_table_oracle(
+    runner: &SweepRunner,
+    workload: &Workload,
+    org: Organization,
+    configs: &[(String, RsConfig)],
+    verify: bool,
+    lanes: LaneMode,
+    oracle: OracleMode,
+) -> Result<(Vec<TableRow>, SweepStats), SocError> {
+    run_table_impl(runner, workload, org, configs, verify, lanes, oracle)
 }
 
 fn run_table_impl(
@@ -374,18 +484,21 @@ fn run_table_impl(
     configs: &[(String, RsConfig)],
     verify: bool,
     lanes: LaneMode,
-) -> Result<Vec<TableRow>, SocError> {
+    oracle: OracleMode,
+) -> Result<(Vec<TableRow>, SweepStats), SocError> {
     let golden = run_golden_soc(workload, org, MAX_CYCLES)?;
+    // The equivalence gate needs the full streamed run, so --verify pins
+    // plain simulation regardless of the oracle mode.
+    let convert = oracle.converts_rows() && !verify;
     let mut scenarios = Vec::with_capacity(configs.len() * 2);
     for (label, rs) in configs {
         for policy in [SyncPolicy::Strict, SyncPolicy::Oracle] {
-            let mut scenario = soc_scenario(
-                format!("{label}/{}", policy.label()),
-                workload,
-                org,
-                *rs,
-                policy,
-            );
+            let row_label = format!("{label}/{}", policy.label());
+            let mut scenario = if convert && policy == SyncPolicy::Strict {
+                soc_oracle_scenario(row_label, workload, org, *rs, golden.cycles)
+            } else {
+                soc_scenario(row_label, workload, org, *rs, policy)
+            };
             if lanes.tags_lanes() {
                 scenario = scenario.with_lane_key(format!("soc/{}", policy.label()));
             }
@@ -395,11 +508,20 @@ fn run_table_impl(
             scenarios.push(scenario);
         }
     }
-    let mut outcomes = runner.run(scenarios).into_iter();
+    let (outcomes, stats) = runner.run_with_stats(scenarios);
+    let mut outcomes = outcomes.into_iter();
     let mut rows = Vec::with_capacity(configs.len());
     for (label, rs) in configs {
-        let wp1 = check_soc_outcome(workload, outcomes.next().expect("one outcome per scenario"))?;
-        let wp2 = check_soc_outcome(workload, outcomes.next().expect("one outcome per scenario"))?;
+        let wp1 = check_soc_outcome(
+            workload,
+            outcomes.next().expect("one outcome per scenario"),
+            !convert,
+        )?;
+        let wp2 = check_soc_outcome(
+            workload,
+            outcomes.next().expect("one outcome per scenario"),
+            true,
+        )?;
         let predicted = predict_wp1_throughput(workload, org, rs);
         let mut row = TableRow::new(
             label.clone(),
@@ -412,7 +534,26 @@ fn run_table_impl(
         row.proven_n_wp2 = wp2.equivalence.as_ref().map(|r| r.proven_n());
         rows.push(row);
     }
-    Ok(rows)
+    // The auto spot-check: fully simulate the first converted row's WP1 run
+    // and require the extrapolated cycle count to match.  This empirically
+    // re-validates the one assumption extrapolation makes beyond the
+    // control-plane argument — that no process halts between the last
+    // simulated cycle and the extrapolated goal (see `wp_sim::oracle`).
+    if convert && oracle.spot_verifies() {
+        if let (Some((_, rs)), Some(row)) = (configs.first(), rows.first()) {
+            let mut sim = LidSimulator::new(build_soc(workload, org, rs), ShellConfig::strict())?;
+            sim.set_trace_enabled(false);
+            let cycles = sim.run_until_halt(CU, MAX_CYCLES)?;
+            if cycles != row.wp1_cycles {
+                return Err(SocError::NotEquivalent(format!(
+                    "oracle spot-check: '{}' extrapolated the WP1 run to {} cycles, but full \
+                     simulation reached the halt at {} cycles",
+                    row.label, row.wp1_cycles, cycles
+                )));
+            }
+        }
+    }
+    Ok((rows, stats))
 }
 
 /// Formats table rows like the paper's Table 1 (plus the analytic column).
@@ -941,6 +1082,57 @@ mod tests {
         assert!(rows[1].th_wp2 >= rows[1].th_wp1);
         let text = format_table("test", &rows);
         assert!(text.contains("Only RF-DC"));
+    }
+
+    /// The `--oracle` acceptance property: converted tables are
+    /// bit-identical to plain ones (which also pins the `UntilHalt` ≡
+    /// `UntilFirings(golden.cycles)` re-expression), the auto spot-check
+    /// passes, and the sweep reports a real simulated-cycle saving.
+    #[test]
+    fn oracle_table_matches_the_plain_table_and_reports_the_saving() {
+        let wl = extraction_sort(6, WORKLOAD_SEED).unwrap();
+        let configs = vec![
+            ("ideal".to_string(), RsConfig::ideal()),
+            ("Only RF-DC".to_string(), RsConfig::single(Link::RfDc, 1)),
+            (
+                "All 1 (no CU-IC)".to_string(),
+                RsConfig::uniform(1, &[Link::CuIc]),
+            ),
+        ];
+        let runner = SweepRunner::default();
+        let plain = run_table(&wl, Organization::Pipelined, &configs).unwrap();
+        let (rows, stats) = run_table_oracle(
+            &runner,
+            &wl,
+            Organization::Pipelined,
+            &configs,
+            false,
+            LaneMode::Auto,
+            OracleMode::Auto,
+        )
+        .unwrap();
+        assert_eq!(rows, plain, "extrapolation must not change any column");
+        assert!(
+            stats.oracle_extrapolations >= 1,
+            "at least one WP1 row extrapolates: {stats:?}"
+        );
+        assert!(
+            stats.oracle_extrapolated_cycles > stats.oracle_simulated_cycles,
+            "the oracle must save more cycles than it simulates: {stats:?}"
+        );
+        // --verify pins plain simulation: no oracle activity at all.
+        let (verified, stats) = run_table_oracle(
+            &runner,
+            &wl,
+            Organization::Pipelined,
+            &configs,
+            true,
+            LaneMode::Auto,
+            OracleMode::On,
+        )
+        .unwrap();
+        assert_eq!(stats.oracle_extrapolations + stats.oracle_fallbacks, 0);
+        assert!(verified.iter().all(|r| r.proven_n_wp1.is_some()));
     }
 
     #[test]

@@ -45,7 +45,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use wp_netlist::{analyze_loops, relay_stations_for_delay, Netlist, DEFAULT_MAX_LOOPS};
+use wp_netlist::{relay_stations_for_delay, Netlist, ThroughputModel};
 
 /// A rectangular IP block to be placed on the die.
 #[derive(Debug, Clone, PartialEq)]
@@ -272,7 +272,7 @@ impl Floorplan {
         let mut annotated = net.clone();
         let budget = self.relay_station_budget(net, placement, model);
         annotated.apply_relay_station_assignment(&budget);
-        analyze_loops(&annotated, DEFAULT_MAX_LOOPS).system_throughput()
+        ThroughputModel::Exact.predict(&annotated)
     }
 
     /// Returns `true` when two placed blocks overlap.

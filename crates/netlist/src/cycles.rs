@@ -75,27 +75,52 @@ impl Cycle {
     }
 }
 
+/// The outcome of a bounded cycle enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleEnumeration {
+    /// The cycles found, at most `max_cycles` of them.
+    pub cycles: Vec<Cycle>,
+    /// `true` when the cap stopped the enumeration with at least one
+    /// simple cycle still unvisited, i.e. `cycles` is incomplete and a
+    /// worse loop than any listed may exist.
+    pub truncated: bool,
+}
+
 /// Enumerates the simple cycles of `net`, visiting at most `max_cycles`
-/// cycles (enumeration stops once the cap is reached).
+/// cycles, and reports whether the cap truncated the inventory.
 ///
 /// Self-loops (an edge from a node to itself) are reported as cycles of one
 /// node and one edge.
-pub fn simple_cycles(net: &Netlist, max_cycles: usize) -> Vec<Cycle> {
+pub fn enumerate_cycles(net: &Netlist, max_cycles: usize) -> CycleEnumeration {
+    // Probe one past the cap: finding a (max + 1)-th cycle is the exact
+    // witness that the enumeration is incomplete.
     let mut finder = CycleFinder {
         net,
-        max_cycles,
+        max_cycles: max_cycles.saturating_add(1),
         cycles: Vec::new(),
         on_path: vec![false; net.node_count()],
         path_nodes: Vec::new(),
         path_edges: Vec::new(),
     };
     for anchor in net.node_ids() {
-        if finder.cycles.len() >= max_cycles {
+        if finder.cycles.len() >= finder.max_cycles {
             break;
         }
         finder.search(anchor, anchor);
     }
-    finder.cycles
+    let mut cycles = finder.cycles;
+    let truncated = cycles.len() > max_cycles;
+    cycles.truncate(max_cycles);
+    CycleEnumeration { cycles, truncated }
+}
+
+/// Enumerates the simple cycles of `net`, visiting at most `max_cycles`
+/// cycles (enumeration stops once the cap is reached).
+///
+/// Use [`enumerate_cycles`] when the caller must know whether the cap
+/// truncated the inventory.
+pub fn simple_cycles(net: &Netlist, max_cycles: usize) -> Vec<Cycle> {
+    enumerate_cycles(net, max_cycles).cycles
 }
 
 struct CycleFinder<'a> {
@@ -263,5 +288,29 @@ mod tests {
         let all = simple_cycles(&net, 10_000);
         // Number of simple cycles of K5 (directed, all ordered pairs) is 84.
         assert_eq!(all.len(), 84);
+    }
+
+    #[test]
+    fn enumeration_reports_truncation_exactly() {
+        let mut net = Netlist::new();
+        let nodes: Vec<_> = (0..4).map(|i| net.add_node(format!("N{i}"))).collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                if x != y {
+                    net.add_edge(format!("{x}->{y}"), x, y);
+                }
+            }
+        }
+        // K4 (directed) has 20 simple cycles.
+        let full = enumerate_cycles(&net, 1_000);
+        assert_eq!(full.cycles.len(), 20);
+        assert!(!full.truncated);
+        let capped = enumerate_cycles(&net, 5);
+        assert_eq!(capped.cycles.len(), 5);
+        assert!(capped.truncated);
+        // A cap equal to the cycle count is not a truncation.
+        let exact_cap = enumerate_cycles(&net, 20);
+        assert_eq!(exact_cap.cycles.len(), 20);
+        assert!(!exact_cap.truncated);
     }
 }

@@ -75,7 +75,7 @@ pub fn loop_inventory(net: &Netlist, analysis: &ThroughputAnalysis) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::throughput::analyze_loops;
+    use crate::throughput::ThroughputModel;
 
     #[test]
     fn dot_output_contains_all_elements() {
@@ -99,7 +99,7 @@ mod tests {
         let b = net.add_node("B");
         net.add_edge("ab", a, b);
         net.add_edge("ba", b, a);
-        let analysis = analyze_loops(&net, 100);
+        let analysis = ThroughputModel::Enumerated { max_loops: 100 }.analyze(&net);
         let table = loop_inventory(&net, &analysis);
         assert!(table.contains("A -> B -> A"));
         assert!(table.contains("1.000"));

@@ -20,7 +20,7 @@
 //!   rule.
 
 use crate::graph::{EdgeId, Netlist};
-use crate::throughput::{analyze_loops, DEFAULT_MAX_LOOPS};
+use crate::throughput::McrSolver;
 
 /// Number of relay stations required on a wire whose propagation delay is
 /// `wire_delay` when the clock period is `clock_period` (same unit).
@@ -89,8 +89,11 @@ pub struct OptimizedAssignment {
 ///
 /// The search is exact (branch and bound over the candidate edges, best-first
 /// on the loop law) for the problem sizes of this paper (tens of edges,
-/// budgets of a few tens); the cost of evaluating one assignment is one loop
-/// analysis.
+/// budgets of a few tens); the cost of evaluating one assignment is one
+/// incremental re-solve of the exact maximum-cycle-ratio solver
+/// ([`McrSolver`]) — the SCC decomposition and adjacency are built once and
+/// only the relay weights are re-read, so thousands of placements are scored
+/// per second.
 ///
 /// Returns `None` when the constraints are infeasible (e.g. the minimums
 /// already exceed the budget).
@@ -117,6 +120,7 @@ pub fn optimize_assignment(
     let extra = budget - base;
 
     let mut scratch = net.clone();
+    let mut solver = McrSolver::new(net);
     let mut best: Option<OptimizedAssignment> = None;
     let mut assignment: Vec<usize> = minimum.to_vec();
 
@@ -126,6 +130,7 @@ pub fn optimize_assignment(
     #[allow(clippy::too_many_arguments)]
     fn recurse(
         scratch: &mut Netlist,
+        solver: &mut McrSolver,
         candidates: &[EdgeId],
         idx: usize,
         remaining: usize,
@@ -139,7 +144,7 @@ pub fn optimize_assignment(
                 return;
             }
             scratch.apply_relay_station_assignment(assignment);
-            let th = analyze_loops(scratch, DEFAULT_MAX_LOOPS).system_throughput();
+            let th = solver.solve(scratch);
             let better = match best {
                 None => true,
                 Some(b) => th > b.predicted_throughput,
@@ -160,6 +165,7 @@ pub fn optimize_assignment(
             assignment[edge.index()] = base + add;
             recurse(
                 scratch,
+                solver,
                 candidates,
                 idx + 1,
                 remaining - add,
@@ -174,6 +180,7 @@ pub fn optimize_assignment(
 
     recurse(
         &mut scratch,
+        &mut solver,
         candidates,
         0,
         extra,
@@ -188,7 +195,7 @@ pub fn optimize_assignment(
     if candidates.is_empty() && extra == 0 && best.is_none() {
         let mut scratch = net.clone();
         scratch.apply_relay_station_assignment(&assignment);
-        let th = analyze_loops(&scratch, DEFAULT_MAX_LOOPS).system_throughput();
+        let th = solver.solve(&scratch);
         best = Some(OptimizedAssignment {
             assignment,
             predicted_throughput: th,
@@ -213,13 +220,14 @@ pub fn optimize_assignment_greedy(
     }
     let mut assignment = minimum.to_vec();
     let mut scratch = net.clone();
+    let mut solver = McrSolver::new(net);
     for _ in 0..(budget - base) {
         let mut best_edge = None;
         let mut best_th = -1.0f64;
         for &e in candidates {
             assignment[e.index()] += 1;
             scratch.apply_relay_station_assignment(&assignment);
-            let th = analyze_loops(&scratch, DEFAULT_MAX_LOOPS).system_throughput();
+            let th = solver.solve(&scratch);
             if th > best_th {
                 best_th = th;
                 best_edge = Some(e);
@@ -230,7 +238,7 @@ pub fn optimize_assignment_greedy(
         assignment[chosen.index()] += 1;
     }
     scratch.apply_relay_station_assignment(&assignment);
-    let predicted = analyze_loops(&scratch, DEFAULT_MAX_LOOPS).system_throughput();
+    let predicted = solver.solve(&scratch);
     Some(OptimizedAssignment {
         assignment,
         predicted_throughput: predicted,

@@ -13,14 +13,20 @@
 //! * [`Netlist`] / [`to_dot`] — the system graph of the paper's **Figure 1**
 //!   (five blocks, nine channel bundles); `to_dot` regenerates the figure
 //!   as Graphviz input (`figure1` binary of `wp-bench`);
-//! * [`loop_throughput`] / [`analyze_loops`] — the **Section 2** loop law:
-//!   a loop with `m` processes and `n` relay stations sustains
-//!   `Th = m/(m+n)` under strict (WP1) shells, and the worst loop bounds
-//!   the system (the "law WP1" column of **Table 1**; validated end-to-end
-//!   by the `loop_law` binary);
+//! * [`ThroughputModel`] — the **Section 2** loop law: a loop with `m`
+//!   processes and `n` relay stations sustains `Th = m/(m+n)` under strict
+//!   (WP1) shells ([`ThroughputModel::law`]), and the worst loop bounds the
+//!   system (the "law WP1" column of **Table 1**; validated end-to-end by
+//!   the `loop_law` binary).  The default [`ThroughputModel::Exact`]
+//!   backend finds the worst loop by Karp's maximum-cycle-ratio algorithm
+//!   (no enumeration, no cap); [`ThroughputModel::Enumerated`] lists every
+//!   loop up to a cap and reports truncation
+//!   ([`ThroughputAnalysis::is_exhaustive`]);
+//! * [`McrSolver`] — the exact solver as a reusable workspace for
+//!   incremental re-solves over a fixed topology (placement search);
 //! * [`simple_cycles`] / [`strongly_connected_components`] — the loop
-//!   inventory behind that analysis (Johnson-style enumeration restricted
-//!   to cyclic SCCs);
+//!   inventory behind the enumerated backend (Johnson-style enumeration
+//!   restricted to cyclic SCCs);
 //! * [`optimize_assignment`] / [`optimize_assignment_greedy`] — the
 //!   relay-station *placement* search of **Section 3**: distribute a fixed
 //!   relay-station budget so the predicted worst-loop throughput is
@@ -33,7 +39,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use wp_netlist::{analyze_loops, Netlist};
+//! use wp_netlist::{Netlist, ThroughputModel};
 //!
 //! // A two-block loop with one relay station on one direction.
 //! let mut net = Netlist::new();
@@ -43,10 +49,11 @@
 //! net.add_edge("flags", alu, cu);
 //! net.set_relay_stations(fwd, 1);
 //!
-//! let analysis = analyze_loops(&net, 1000);
+//! let analysis = ThroughputModel::Exact.analyze(&net);
 //! // One loop with m = 2 processes and n = 1 relay station: Th = 2/3.
 //! assert_eq!(analysis.loops().len(), 1);
 //! assert!((analysis.system_throughput() - 2.0 / 3.0).abs() < 1e-12);
+//! assert!(analysis.is_exhaustive());
 //! ```
 
 #![warn(missing_docs)]
@@ -59,7 +66,7 @@ mod insertion;
 mod scc;
 mod throughput;
 
-pub use cycles::{simple_cycles, Cycle};
+pub use cycles::{enumerate_cycles, simple_cycles, Cycle, CycleEnumeration};
 pub use dot::{loop_inventory, to_dot};
 pub use graph::{Edge, EdgeId, Netlist, Node, NodeId};
 pub use insertion::{
@@ -67,7 +74,6 @@ pub use insertion::{
     relay_stations_for_delay, OptimizedAssignment,
 };
 pub use scc::{cyclic_components, strongly_connected_components};
-pub use throughput::{
-    analyze_loops, loop_throughput, predicted_throughput, LoopInfo, ThroughputAnalysis,
-    DEFAULT_MAX_LOOPS,
-};
+#[allow(deprecated)]
+pub use throughput::{analyze_loops, loop_throughput, predicted_throughput};
+pub use throughput::{LoopInfo, McrSolver, ThroughputAnalysis, ThroughputModel, DEFAULT_MAX_LOOPS};

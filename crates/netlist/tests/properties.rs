@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use wp_netlist::{
-    analyze_loops, loop_throughput, optimize_assignment, simple_cycles,
-    strongly_connected_components, Netlist, NodeId,
+    enumerate_cycles, optimize_assignment, simple_cycles, strongly_connected_components, McrSolver,
+    Netlist, NodeId, ThroughputModel,
 };
 
 /// Builds a random directed graph from an edge list over `n` nodes.
@@ -17,16 +17,33 @@ fn build_graph(n: usize, edges: &[(usize, usize)]) -> Netlist {
     net
 }
 
+/// Builds a random *strongly connected* netlist: a Hamiltonian ring over
+/// `n` nodes guarantees the connectivity, extra chords add loop diversity.
+fn build_strongly_connected(n: usize, chords: &[(usize, usize)], stations: &[usize]) -> Netlist {
+    let mut net = Netlist::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| net.add_node(format!("n{i}"))).collect();
+    for i in 0..n {
+        net.add_edge(format!("ring{i}"), nodes[i], nodes[(i + 1) % n]);
+    }
+    for (idx, &(a, b)) in chords.iter().enumerate() {
+        net.add_edge(format!("chord{idx}"), nodes[a % n], nodes[b % n]);
+    }
+    for (i, e) in net.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+        net.set_relay_stations(e, stations.get(i).copied().unwrap_or(0));
+    }
+    net
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn loop_law_is_a_probability(m in 1usize..50, n in 0usize..50) {
-        let th = loop_throughput(m, n);
+        let th = ThroughputModel::law(m, n);
         prop_assert!(th > 0.0 && th <= 1.0);
         // Monotonicity: more stations never help, more processes never hurt.
-        prop_assert!(loop_throughput(m, n + 1) <= th);
-        prop_assert!(loop_throughput(m + 1, n) >= th);
+        prop_assert!(ThroughputModel::law(m, n + 1) <= th);
+        prop_assert!(ThroughputModel::law(m + 1, n) >= th);
     }
 
     #[test]
@@ -80,7 +97,8 @@ proptest! {
         for (i, e) in net.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
             net.set_relay_stations(e, stations.get(i).copied().unwrap_or(0));
         }
-        let analysis = analyze_loops(&net, 10_000);
+        let analysis = ThroughputModel::Enumerated { max_loops: 10_000 }.analyze(&net);
+        prop_assert!(analysis.is_exhaustive());
         let expected = analysis
             .loops()
             .iter()
@@ -88,7 +106,91 @@ proptest! {
             .fold(1.0f64, f64::min);
         prop_assert_eq!(analysis.system_throughput(), expected);
         for l in analysis.loops() {
-            prop_assert_eq!(l.throughput, loop_throughput(l.processes, l.relay_stations));
+            prop_assert_eq!(l.throughput, ThroughputModel::law(l.processes, l.relay_stations));
+        }
+    }
+
+    #[test]
+    fn exact_solver_matches_exhaustive_enumeration(
+        n in 1usize..6,
+        edges in prop::collection::vec((0usize..6, 0usize..6), 0..15),
+        stations in prop::collection::vec(0usize..5, 0..15),
+    ) {
+        // On arbitrary random graphs (cyclic or not), the exact solver's
+        // prediction must equal the exhaustively enumerated one bit for
+        // bit, and its reported critical loop must attain it.
+        let mut net = build_graph(n, &edges);
+        for (i, e) in net.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            net.set_relay_stations(e, stations.get(i).copied().unwrap_or(0));
+        }
+        let enumerated = ThroughputModel::Enumerated { max_loops: 100_000 }.analyze(&net);
+        prop_assert!(enumerated.is_exhaustive());
+        let exact = ThroughputModel::Exact.analyze(&net);
+        prop_assert_eq!(exact.system_throughput(), enumerated.system_throughput());
+        if let Some(worst) = exact.worst_loop() {
+            prop_assert_eq!(
+                worst.throughput,
+                ThroughputModel::law(worst.processes, worst.relay_stations)
+            );
+            prop_assert_eq!(worst.relay_stations, worst.cycle.relay_station_count(&net));
+        }
+    }
+
+    #[test]
+    fn exact_solver_matches_enumeration_on_strongly_connected_netlists(
+        n in 1usize..7,
+        chords in prop::collection::vec((0usize..7, 0usize..7), 0..10),
+        stations in prop::collection::vec(0usize..6, 0..17),
+    ) {
+        let net = build_strongly_connected(n, &chords, &stations);
+        let enumerated = ThroughputModel::Enumerated { max_loops: 100_000 }.analyze(&net);
+        prop_assert!(enumerated.is_exhaustive());
+        prop_assert_eq!(
+            ThroughputModel::Exact.predict(&net),
+            enumerated.system_throughput()
+        );
+    }
+
+    #[test]
+    fn truncated_enumeration_never_beats_the_exact_solver(
+        stations in prop::collection::vec(0usize..4, 20),
+    ) {
+        // K5 has 84 simple cycles; cap at 10 so the enumeration truncates.
+        let mut net = Netlist::new();
+        let nodes: Vec<NodeId> = (0..5).map(|i| net.add_node(format!("n{i}"))).collect();
+        for &x in &nodes {
+            for &y in &nodes {
+                if x != y {
+                    net.add_edge(format!("{x}-{y}"), x, y);
+                }
+            }
+        }
+        for (i, e) in net.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+            net.set_relay_stations(e, stations[i % stations.len()]);
+        }
+        let capped = ThroughputModel::Enumerated { max_loops: 10 }.analyze(&net);
+        prop_assert!(!capped.is_exhaustive());
+        prop_assert_eq!(enumerate_cycles(&net, 10).cycles.len(), 10);
+        // A truncated inventory can only over-estimate the worst loop.
+        prop_assert!(capped.system_throughput() >= ThroughputModel::Exact.predict(&net));
+    }
+
+    #[test]
+    fn incremental_resolve_matches_fresh_solver(
+        n in 2usize..6,
+        chords in prop::collection::vec((0usize..6, 0usize..6), 0..8),
+        rounds in prop::collection::vec(
+            (prop::collection::vec(0usize..5, 14),),
+            1..4,
+        ),
+    ) {
+        let mut net = build_strongly_connected(n, &chords, &[]);
+        let mut solver = McrSolver::new(&net);
+        for (stations,) in &rounds {
+            for (i, e) in net.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+                net.set_relay_stations(e, stations[i % stations.len()]);
+            }
+            prop_assert_eq!(solver.solve(&net), ThroughputModel::Exact.predict(&net));
         }
     }
 
@@ -113,7 +215,7 @@ proptest! {
         // the first edge.
         let mut reference = net.clone();
         reference.set_relay_stations(candidates[0], budget);
-        let ref_th = analyze_loops(&reference, 1000).system_throughput();
+        let ref_th = ThroughputModel::Exact.predict(&reference);
         prop_assert!(best.predicted_throughput >= ref_th - 1e-12);
         prop_assert_eq!(best.assignment.iter().sum::<usize>(), budget);
     }

@@ -211,6 +211,14 @@ impl LanePlaneArena {
         self.slots[slot] = word;
     }
 
+    /// Every plane of every group as one flat word slice, in group-major
+    /// order — the packed control state the lane kernel's period oracle
+    /// hashes per cycle.
+    #[inline]
+    pub fn planes(&self) -> &[u64] {
+        &self.slots
+    }
+
     /// Zeroes every plane (used by resets, not by the per-cycle step).
     pub fn clear(&mut self) {
         self.slots.fill(0);

@@ -85,30 +85,6 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
         self.cycles
     }
 
-    /// The recorded channel traces (one per channel, in channel order),
-    /// materialised out of the trace arena into standalone
-    /// [`ChannelTrace`]s; use [`GoldenSimulator::trace_arena`] to read the
-    /// recordings without copying.
-    pub fn traces(&self) -> Vec<ChannelTrace<V>> {
-        self.traces.to_channel_traces()
-    }
-
-    /// Borrowed access to the arena-backed channel recordings.
-    pub fn trace_arena(&self) -> &TraceArena<V> {
-        &self.traces
-    }
-
-    /// Reserves trace capacity for `cycles` more simulated cycles, so the
-    /// recording itself performs no heap allocation over that window.
-    pub fn reserve_traces(&mut self, cycles: usize) {
-        self.traces.reserve_cycles(cycles);
-    }
-
-    /// Clears the recorded traces (names and capacity retained).
-    pub fn clear_traces(&mut self) {
-        self.traces.clear();
-    }
-
     /// Immutable access to a process (e.g. to read architectural state after
     /// the run).
     ///
@@ -183,6 +159,30 @@ impl<V: Clone + PartialEq> GoldenSimulator<V> {
         for _ in 0..cycles {
             self.step();
         }
+    }
+}
+
+crate::simulator::impl_trace_arena_accessors!(GoldenSimulator);
+
+impl<V: Clone + PartialEq> crate::Simulator<V> for GoldenSimulator<V> {
+    fn step(&mut self) -> Result<(), SimError> {
+        GoldenSimulator::step(self);
+        Ok(())
+    }
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+    fn is_halted(&self, id: ProcessId) -> bool {
+        self.processes[id].is_halted()
+    }
+    fn process(&self, id: ProcessId) -> &dyn Process<V> {
+        self.processes[id].as_ref()
+    }
+    fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+    fn channel_traces(&self) -> Vec<ChannelTrace<V>> {
+        self.traces.to_channel_traces()
     }
 }
 

@@ -44,6 +44,10 @@
 //! drain).  The property test `tests/lane_equivalence.rs` pins this for
 //! random systems, schedules and lane counts, including ragged batches.
 
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::Hasher;
+
 use wp_core::{
     relay_station_control, shell_fire_control, shell_release_control, ShellConfig, SyncPolicy,
 };
@@ -51,7 +55,10 @@ use wp_core::{
 use crate::arena::LanePlaneArena;
 use crate::golden::GoldenSimulator;
 use crate::lid::{LidReport, DEFAULT_DEADLOCK_WINDOW};
-use crate::spec::{ChannelSpec, SimError, SystemBuilder};
+use crate::oracle::{
+    goal_offset, max_cyclic_gap, split_remaining, OracleRun, ORACLE_DETECTION_WINDOW,
+};
+use crate::spec::{ChannelSpec, ProcessId, SimError, SystemBuilder};
 use crate::sweep::RunGoal;
 
 /// Maximum number of scenario instances one [`LaneLidSimulator`] steps
@@ -301,6 +308,18 @@ enum HaltScript {
 struct LaneFinal {
     cycles: u64,
     firings: Vec<u64>,
+}
+
+/// What the lane kernel's one-period re-simulation established (the lane
+/// counterpart of the scalar verifier in [`crate::LidSimulator`]).
+enum LaneVerdict {
+    /// The joint control state repeated exactly: `fire_masks[t * n + p]`
+    /// holds the lanes that fired process `p` in in-period cycle `t`.
+    Verified { fire_masks: Vec<u64> },
+    /// The candidate was a hash collision (or a halt flipped inside the
+    /// window) — or every lane was decided mid-verification; either way
+    /// there is nothing to extrapolate from.
+    NotPeriodic,
 }
 
 /// The bit-parallel latency-insensitive kernel: up to 64 instances of one
@@ -720,6 +739,301 @@ impl<V: Clone + PartialEq> LaneLidSimulator<V> {
         LaneFinal {
             cycles: self.clock,
             firings: self.fired.iter().map(|f| f.get(lane)).collect(),
+        }
+    }
+
+    /// The packed control state of the whole batch as one flat word vector:
+    /// every relay-station plane, output-validity and stop-register plane,
+    /// queue-occupancy counter plane and halted plane.  Because lanes are
+    /// bit-slices of these words and never interact, a repeat of this joint
+    /// vector proves *every* lane's control trajectory — and therefore its
+    /// firing pattern — repeats with the joint period (see
+    /// [`crate::ORACLE_DETECTION_WINDOW`] for the soundness argument shared
+    /// with the scalar oracle).  The monotonic `fired` counters and the
+    /// halt-script down-counters are deliberately excluded, exactly like
+    /// the scalar kernel's firing counters: their effect on the control
+    /// plane is fully captured by the halted planes.
+    fn control_vec(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend_from_slice(self.rs_main.planes());
+        out.extend_from_slice(self.rs_aux.planes());
+        out.extend_from_slice(self.rs_stop.planes());
+        out.extend_from_slice(self.out_valid.planes());
+        out.extend_from_slice(self.stop_reg.planes());
+        for queues in &self.occ {
+            for counter in queues {
+                out.extend_from_slice(&counter.planes);
+            }
+        }
+        out.extend_from_slice(&self.halted);
+    }
+
+    /// Hashes the packed control state (scratch avoids re-allocating the
+    /// state vector every cycle).
+    fn control_hash(&self, scratch: &mut Vec<u64>) -> u64 {
+        self.control_vec(scratch);
+        let mut hasher = DefaultHasher::new();
+        for &word in scratch.iter() {
+            hasher.write_u64(word);
+        }
+        hasher.finish()
+    }
+
+    /// The lane counterpart of
+    /// [`crate::LidSimulator::run_until_firings_extrapolated`]: runs every
+    /// lane of a freshly constructed kernel until `node` has fired `target`
+    /// times, detecting the steady-state period of the *joint* control
+    /// state and extrapolating each lane's goal cycle and firing counters
+    /// in O(1) once the period is verified.
+    ///
+    /// Lanes are independent bit-slices of the control planes, so one joint
+    /// period (the least common multiple of the per-lane periods, found by
+    /// hashing all planes at once) proves every lane's pattern; lanes that
+    /// reach their goal before a period is found are reported from plain
+    /// simulation, bit-identical to [`LaneLidSimulator::run`] without a
+    /// drain.  Batches with a stall schedule never extrapolate — the
+    /// schedule hashes the absolute cycle, so the control plane alone does
+    /// not determine the future — and simply simulate to their goals.
+    ///
+    /// Returns one [`OracleRun`] (or the lane's [`SimError`], exactly as
+    /// plain simulation would have produced it) per lane, in lane order.
+    /// As with the scalar oracle, an extrapolated kernel's architectural
+    /// state is frozen at the last simulated cycle — do not drain it.
+    pub fn run_until_firings_extrapolated(
+        &mut self,
+        node: ProcessId,
+        target: u64,
+        max_cycles: u64,
+    ) -> Vec<Result<OracleRun, SimError>> {
+        debug_assert_eq!(self.clock, 0, "expects a fresh kernel");
+        let mut results: Vec<Option<Result<OracleRun, SimError>>> =
+            (0..self.lanes).map(|_| None).collect();
+        let mut undecided = self.lane_mask;
+        let mut goal_rem = LaneCounters::with_value(target, self.lane_mask);
+        let mut idle = LaneCounters::new(bits_for(self.deadlock_window) + 1);
+        let mut detect = self.stall.is_none();
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        let mut scratch: Vec<u64> = Vec::new();
+
+        loop {
+            // Boundary checks in the plain kernel's order: goal first, then
+            // the cycle budget, then deadlock.
+            let goal_now = undecided & !goal_rem.nonzero_mask();
+            for lane in iter_lanes(goal_now) {
+                results[lane] = Some(Ok(self.plain_lane_outcome(lane)));
+            }
+            undecided &= !goal_now;
+            if undecided != 0 && self.clock >= max_cycles {
+                for lane in iter_lanes(undecided) {
+                    results[lane] = Some(Err(SimError::MaxCyclesExceeded { max_cycles }));
+                }
+                undecided = 0;
+            }
+            let dead = undecided & idle.ge_const(self.deadlock_window);
+            for lane in iter_lanes(dead) {
+                results[lane] = Some(Err(SimError::Deadlock { cycle: self.clock }));
+            }
+            undecided &= !dead;
+            if undecided == 0 {
+                break;
+            }
+
+            if detect && self.clock <= ORACLE_DETECTION_WINDOW {
+                let hash = self.control_hash(&mut scratch);
+                match seen.entry(hash) {
+                    Entry::Occupied(entry) => {
+                        let period = self.clock - *entry.get();
+                        let verdict = self.verify_lane_period(
+                            node,
+                            max_cycles,
+                            period,
+                            &mut results,
+                            &mut undecided,
+                            &mut goal_rem,
+                            &mut idle,
+                        );
+                        match verdict {
+                            LaneVerdict::Verified { fire_masks } => {
+                                self.extrapolate_lanes(
+                                    node,
+                                    target,
+                                    max_cycles,
+                                    period,
+                                    &fire_masks,
+                                    &mut results,
+                                    &mut undecided,
+                                );
+                                // Lanes that cannot extrapolate (their goal
+                                // process never fires again, or their
+                                // steady-state gaps reach the deadlock
+                                // window) finish by plain simulation; the
+                                // verified period would only re-verify, so
+                                // detection is done.
+                                detect = false;
+                            }
+                            LaneVerdict::NotPeriodic => {}
+                        }
+                        seen.clear();
+                        // Re-run the boundary checks before hashing or
+                        // stepping again: verification advanced the clock.
+                        continue;
+                    }
+                    Entry::Vacant(entry) => {
+                        entry.insert(self.clock);
+                    }
+                }
+            }
+
+            let fired_any = self.step_cycle(self.lane_mask);
+            idle.clear_lanes(fired_any);
+            idle.add_mask(undecided & !fired_any);
+            goal_rem.sub_mask(self.fire_scratch[node] & undecided);
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every lane is decided before the loop exits"))
+            .collect()
+    }
+
+    /// One lane's outcome when its goal was reached by plain simulation.
+    fn plain_lane_outcome(&self, lane: usize) -> OracleRun {
+        OracleRun {
+            report: lane_report(self.snapshot(lane)),
+            simulated_cycles: self.clock,
+            extrapolated: false,
+        }
+    }
+
+    /// Re-simulates exactly `period` cycles and compares the complete
+    /// control vector against the snapshot taken at entry (defeating hash
+    /// collisions), recording each cycle's per-process fire masks.  The
+    /// per-cycle boundary bookkeeping of the main loop continues, so lanes
+    /// may reach their goals — or run out of budget — mid-verification.
+    #[allow(clippy::too_many_arguments)]
+    fn verify_lane_period(
+        &mut self,
+        node: ProcessId,
+        max_cycles: u64,
+        period: u64,
+        results: &mut [Option<Result<OracleRun, SimError>>],
+        undecided: &mut u64,
+        goal_rem: &mut LaneCounters,
+        idle: &mut LaneCounters,
+    ) -> LaneVerdict {
+        let n = self.ports.len();
+        let mut expect: Vec<u64> = Vec::new();
+        self.control_vec(&mut expect);
+        let mut fire_masks: Vec<u64> = Vec::with_capacity(period as usize * n);
+        for _ in 0..period {
+            let fired_any = self.step_cycle(self.lane_mask);
+            fire_masks.extend_from_slice(&self.fire_scratch);
+            idle.clear_lanes(fired_any);
+            idle.add_mask(*undecided & !fired_any);
+            goal_rem.sub_mask(self.fire_scratch[node] & *undecided);
+
+            let goal_now = *undecided & !goal_rem.nonzero_mask();
+            for lane in iter_lanes(goal_now) {
+                results[lane] = Some(Ok(self.plain_lane_outcome(lane)));
+            }
+            *undecided &= !goal_now;
+            if *undecided != 0 && self.clock >= max_cycles {
+                for lane in iter_lanes(*undecided) {
+                    results[lane] = Some(Err(SimError::MaxCyclesExceeded { max_cycles }));
+                }
+                *undecided = 0;
+            }
+            let dead = *undecided & idle.ge_const(self.deadlock_window);
+            for lane in iter_lanes(dead) {
+                results[lane] = Some(Err(SimError::Deadlock { cycle: self.clock }));
+            }
+            *undecided &= !dead;
+            if *undecided == 0 {
+                return LaneVerdict::NotPeriodic;
+            }
+        }
+        let mut actual: Vec<u64> = Vec::new();
+        self.control_vec(&mut actual);
+        if actual == expect {
+            LaneVerdict::Verified { fire_masks }
+        } else {
+            LaneVerdict::NotPeriodic
+        }
+    }
+
+    /// Extrapolates every still-undecided lane from the verified per-cycle
+    /// fire masks, using the same arithmetic (and the same exact
+    /// error-parity guarantees) as the scalar oracle: the goal cycle is
+    /// `clock + k·period + t + 1`, the budget errs iff that exceeds
+    /// `max_cycles`, and every firing counter is the simulated count plus
+    /// `k` whole periods plus the partial period up to `t`.  Lanes whose
+    /// goal process never fires in the period, or whose steady-state firing
+    /// gaps reach the deadlock window, are left undecided — plain
+    /// simulation then reproduces exactly the budget or deadlock error the
+    /// un-extrapolated run would have hit.
+    #[allow(clippy::too_many_arguments)]
+    fn extrapolate_lanes(
+        &self,
+        node: ProcessId,
+        target: u64,
+        max_cycles: u64,
+        period: u64,
+        fire_masks: &[u64],
+        results: &mut [Option<Result<OracleRun, SimError>>],
+        undecided: &mut u64,
+    ) {
+        let n = self.ports.len();
+        let cycles_per_period = period as usize;
+        let mut cum_node: Vec<u64> = Vec::with_capacity(cycles_per_period);
+        let mut fired_lane: Vec<bool> = Vec::with_capacity(cycles_per_period);
+        for lane in iter_lanes(*undecided) {
+            let bit = 1u64 << lane;
+            cum_node.clear();
+            fired_lane.clear();
+            let mut cum = 0u64;
+            for t in 0..cycles_per_period {
+                let row = &fire_masks[t * n..(t + 1) * n];
+                cum += u64::from(row[node] & bit != 0);
+                cum_node.push(cum);
+                fired_lane.push(row.iter().any(|&mask| mask & bit != 0));
+            }
+            let delta = cum;
+            if delta == 0 || max_cyclic_gap(&fired_lane) >= self.deadlock_window {
+                continue;
+            }
+            let rem = target - self.fired[node].get(lane);
+            debug_assert!(rem >= 1, "an undecided lane has firings left to go");
+            let (k, residue) = split_remaining(rem, delta);
+            let t = goal_offset(&cum_node, residue);
+            let goal_cycle = self.clock + k * period + t as u64 + 1;
+            let outcome = if goal_cycle > max_cycles {
+                Err(SimError::MaxCyclesExceeded { max_cycles })
+            } else {
+                let firings: Vec<u64> = (0..n)
+                    .map(|p| {
+                        let mut whole = 0u64;
+                        let mut partial = 0u64;
+                        for (step, row) in fire_masks.chunks_exact(n).enumerate() {
+                            let fired_here = u64::from(row[p] & bit != 0);
+                            whole += fired_here;
+                            if step <= t {
+                                partial += fired_here;
+                            }
+                        }
+                        self.fired[p].get(lane) + k * whole + partial
+                    })
+                    .collect();
+                Ok(OracleRun {
+                    report: lane_report(LaneFinal {
+                        cycles: goal_cycle,
+                        firings,
+                    }),
+                    simulated_cycles: self.clock,
+                    extrapolated: true,
+                })
+            };
+            results[lane] = Some(outcome);
+            *undecided &= !bit;
         }
     }
 
@@ -1228,5 +1542,124 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn stall_schedule_rejects_lane_64() {
         let _ = StallSchedule::new(0, 1, 64);
+    }
+
+    /// Every lane of an extrapolated batch must match its scalar plain run
+    /// bit for bit, while simulating only a fraction of the reported cycles.
+    #[test]
+    fn extrapolated_lanes_match_scalar_plain_runs_exactly() {
+        let target = 50_000u64;
+        let max_cycles = 1_000_000u64;
+        let stages = 3;
+        let rs_budgets = [0usize, 1, 2, 4, 7, 0, 3, 5];
+        let lanes: Vec<LaneScenario> = rs_budgets
+            .iter()
+            .map(|&rs| LaneScenario {
+                relay_stations: vec![rs, 0, 0],
+                stall: None,
+            })
+            .collect();
+        let mut kernel =
+            LaneLidSimulator::new(ring(stages, 0), &lanes, ShellConfig::strict()).unwrap();
+        let outcomes = kernel.run_until_firings_extrapolated(0, target, max_cycles);
+        assert_eq!(outcomes.len(), rs_budgets.len());
+        for (l, (outcome, &rs)) in outcomes.iter().zip(&rs_budgets).enumerate() {
+            let run = outcome.as_ref().expect("ring lanes complete");
+            let mut scalar = LidSimulator::new(ring(stages, rs), ShellConfig::strict()).unwrap();
+            scalar.set_trace_enabled(false);
+            scalar.run_until_firings(0, target, max_cycles).unwrap();
+            assert_eq!(run.report, scalar.report(), "lane {l}");
+            assert!(run.extrapolated, "lane {l} should have extrapolated");
+            assert!(
+                run.simulated_cycles * 10 <= run.report.cycles,
+                "lane {l}: simulated {} of {} cycles",
+                run.simulated_cycles,
+                run.report.cycles
+            );
+        }
+    }
+
+    /// A stalled batch cannot extrapolate (the schedule reads the absolute
+    /// cycle), but the oracle entry point still reproduces the plain
+    /// kernel's outcomes exactly.
+    #[test]
+    fn stalled_batches_fall_back_to_plain_lane_simulation() {
+        let target = 300u64;
+        let lanes: Vec<LaneScenario> = (0..4u32)
+            .map(|l| LaneScenario {
+                relay_stations: vec![l as usize, 0],
+                stall: Some(StallSchedule::new(42, 2, l)),
+            })
+            .collect();
+        let mut kernel = LaneLidSimulator::new(ring(2, 0), &lanes, ShellConfig::strict()).unwrap();
+        let outcomes = kernel.run_until_firings_extrapolated(0, target, 100_000);
+        for (l, outcome) in outcomes.iter().enumerate() {
+            let run = outcome.as_ref().expect("stalled lanes complete");
+            assert!(!run.extrapolated, "lane {l} must not extrapolate");
+            assert_eq!(run.simulated_cycles, run.report.cycles, "lane {l}");
+            let mut scalar = LidSimulator::new(ring(2, l), ShellConfig::strict()).unwrap();
+            scalar.set_trace_enabled(false);
+            scalar.set_stall_schedule(Some(StallSchedule::new(42, 2, l as u32)));
+            scalar.run_until_firings(0, target, 100_000).unwrap();
+            assert_eq!(run.report, scalar.report(), "lane {l}");
+        }
+    }
+
+    /// The extrapolated cycle-budget error is exact per lane: a budget one
+    /// cycle short errs, the exact goal cycle succeeds — even though the
+    /// lanes share one clock and decide at different cycles.
+    #[test]
+    fn extrapolated_budget_errors_are_exact_per_lane() {
+        let target = 2_000u64;
+        let budgets = [0usize, 2];
+        let goal_cycles: Vec<u64> = budgets
+            .iter()
+            .map(|&rs| {
+                let mut scalar = LidSimulator::new(ring(3, rs), ShellConfig::strict()).unwrap();
+                scalar.set_trace_enabled(false);
+                scalar.run_until_firings(0, target, 1_000_000).unwrap()
+            })
+            .collect();
+        let lanes: Vec<LaneScenario> = budgets
+            .iter()
+            .map(|&rs| LaneScenario {
+                relay_stations: vec![rs, 0, 0],
+                stall: None,
+            })
+            .collect();
+        // Budget exactly the slower lane's goal cycle: the slow lane
+        // succeeds on the nose, the fast one long before.
+        let max = *goal_cycles.iter().max().unwrap();
+        let mut kernel = LaneLidSimulator::new(ring(3, 0), &lanes, ShellConfig::strict()).unwrap();
+        for (l, outcome) in kernel
+            .run_until_firings_extrapolated(0, target, max)
+            .iter()
+            .enumerate()
+        {
+            let run = outcome.as_ref().expect("budget is sufficient");
+            assert_eq!(run.report.cycles, goal_cycles[l], "lane {l}");
+        }
+        // One cycle short: the slower lane must err, the faster still pass.
+        let mut kernel = LaneLidSimulator::new(ring(3, 0), &lanes, ShellConfig::strict()).unwrap();
+        let outcomes = kernel.run_until_firings_extrapolated(0, target, max - 1);
+        let slow = goal_cycles
+            .iter()
+            .position(|&g| g == max)
+            .expect("one lane is slowest");
+        for (l, outcome) in outcomes.iter().enumerate() {
+            if l == slow {
+                let err = outcome.as_ref().expect_err("one cycle short");
+                assert!(
+                    matches!(err, SimError::MaxCyclesExceeded { .. }),
+                    "lane {l}: {err}"
+                );
+            } else {
+                assert_eq!(
+                    outcome.as_ref().expect("fast lane fits").report.cycles,
+                    goal_cycles[l],
+                    "lane {l}"
+                );
+            }
+        }
     }
 }

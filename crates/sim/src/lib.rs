@@ -33,6 +33,11 @@
 //!   allocation-free [`LidSimulator`] and [`GoldenSimulator`] kernels are
 //!   property-tested and benchmarked against.
 //!
+//! All four simulators implement the shared [`Simulator`] trait
+//! (`step`/`cycles`/`is_halted`/`run_until_halt`/`run_for` plus trace
+//! accessors), so generic harnesses and future goal modes are written once
+//! against the trait instead of four times against the concrete types.
+//!
 //! ```
 //! use wp_core::{Process, ShellConfig};
 //! use wp_sim::{GoldenSimulator, LidSimulator, SystemBuilder};
@@ -69,6 +74,8 @@ mod golden;
 mod lane;
 mod lid;
 mod naive;
+mod oracle;
+mod simulator;
 mod spec;
 mod sweep;
 #[cfg(test)]
@@ -79,5 +86,7 @@ pub use golden::GoldenSimulator;
 pub use lane::{LaneLidSimulator, LaneOutcome, LaneScenario, StallSchedule, MAX_LANES};
 pub use lid::{LidReport, LidSimulator, DEFAULT_DEADLOCK_WINDOW};
 pub use naive::{NaiveGoldenSimulator, NaiveSimulator};
+pub use oracle::{OracleRun, ORACLE_DETECTION_WINDOW};
+pub use simulator::Simulator;
 pub use spec::{ChannelId, ChannelSpec, ProcessId, SimError, SystemBuilder};
 pub use sweep::{RunGoal, Scenario, SweepError, SweepOutcome, SweepRunner, SweepStats};

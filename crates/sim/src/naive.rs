@@ -364,19 +364,6 @@ impl<V: Clone + PartialEq> NaiveGoldenSimulator<V> {
         self.cycles
     }
 
-    /// The recorded channel traces (one per channel, in channel order),
-    /// materialised like [`GoldenSimulator::traces`].
-    ///
-    /// [`GoldenSimulator::traces`]: crate::GoldenSimulator::traces
-    pub fn traces(&self) -> Vec<ChannelTrace<V>> {
-        self.traces.to_channel_traces()
-    }
-
-    /// Borrowed access to the arena-backed channel recordings.
-    pub fn trace_arena(&self) -> &TraceArena<V> {
-        &self.traces
-    }
-
     /// Immutable access to a process.
     ///
     /// # Panics
@@ -443,5 +430,54 @@ impl<V: Clone + PartialEq> NaiveGoldenSimulator<V> {
         for _ in 0..cycles {
             self.step();
         }
+    }
+}
+
+crate::simulator::impl_trace_arena_accessors!(NaiveGoldenSimulator);
+
+impl<V: Clone + PartialEq> crate::Simulator<V> for NaiveSimulator<V> {
+    fn step(&mut self) -> Result<(), SimError> {
+        NaiveSimulator::step(self)
+    }
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+    fn is_halted(&self, id: ProcessId) -> bool {
+        self.shells[id].is_halted()
+    }
+    fn process(&self, id: ProcessId) -> &dyn Process<V> {
+        self.shells[id].process()
+    }
+    fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+    fn channel_traces(&self) -> Vec<ChannelTrace<V>> {
+        self.traces.clone()
+    }
+    fn halt_guard(&self) -> Option<SimError> {
+        (self.cycles_since_firing >= self.deadlock_window)
+            .then_some(SimError::Deadlock { cycle: self.cycles })
+    }
+}
+
+impl<V: Clone + PartialEq> crate::Simulator<V> for NaiveGoldenSimulator<V> {
+    fn step(&mut self) -> Result<(), SimError> {
+        NaiveGoldenSimulator::step(self);
+        Ok(())
+    }
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+    fn is_halted(&self, id: ProcessId) -> bool {
+        self.processes[id].is_halted()
+    }
+    fn process(&self, id: ProcessId) -> &dyn Process<V> {
+        self.processes[id].as_ref()
+    }
+    fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+    fn channel_traces(&self) -> Vec<ChannelTrace<V>> {
+        self.traces.to_channel_traces()
     }
 }

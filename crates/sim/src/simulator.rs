@@ -1,0 +1,248 @@
+//! The shared simulator interface.
+//!
+//! Four cycle-accurate simulators live in this crate — the wire-pipelined
+//! kernel [`LidSimulator`], the un-pipelined reference [`GoldenSimulator`],
+//! and their seed-implementation twins [`NaiveSimulator`] and
+//! [`NaiveGoldenSimulator`].  They grew up with copy-pasted driving loops
+//! and trace accessors; the [`Simulator`] trait collects that surface in one
+//! place so that goal modes (halt detection, steady-state period detection,
+//! future stopping rules) land once instead of four times, and so that test
+//! harnesses can drive any of them through one generic function.
+//!
+//! The design keeps every existing inherent method: the trait delegates to
+//! them (inherent methods win name resolution), so no caller changes and
+//! the allocation-free hot paths stay monomorphised.  What the trait adds
+//! is the *generic* view: `fn drive<S: Simulator<V>>(sim: &mut S)`.
+//!
+//! The trait normalises two asymmetries between the simulators:
+//!
+//! * the golden steps are infallible (every process fires every cycle, no
+//!   protocol to violate) while the latency-insensitive steps return
+//!   `Result` — the trait's [`Simulator::step`] is fallible and the golden
+//!   implementations simply never err;
+//! * only the latency-insensitive simulators detect deadlock — the trait
+//!   exposes that as the [`Simulator::halt_guard`] hook, checked by the
+//!   provided [`Simulator::run_until_halt`] loop before every step, with a
+//!   default of `None` for the golden pair.
+//!
+//! [`LidSimulator`]: crate::LidSimulator
+//! [`GoldenSimulator`]: crate::GoldenSimulator
+//! [`NaiveSimulator`]: crate::NaiveSimulator
+//! [`NaiveGoldenSimulator`]: crate::NaiveGoldenSimulator
+
+use wp_core::{ChannelTrace, Process};
+
+use crate::spec::{ProcessId, SimError};
+
+/// The driving interface every simulator in this crate implements.
+///
+/// See the module docs above for the design rationale.  The provided
+/// [`Simulator::run_until_halt`] and [`Simulator::run_for`] loops reproduce
+/// the check-then-step order of the inherent loops exactly (goal first,
+/// then the cycle limit, then the [`Simulator::halt_guard`]), so driving a
+/// simulator through the trait is cycle-for-cycle identical to driving it
+/// through its inherent methods.
+pub trait Simulator<V> {
+    /// Simulates one clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] on a latency-insensitive protocol
+    /// violation; the golden simulators never err.
+    fn step(&mut self) -> Result<(), SimError>;
+
+    /// Number of cycles simulated so far.
+    fn cycles(&self) -> u64;
+
+    /// Returns `true` when the given process reports a halted state.
+    fn is_halted(&self, id: ProcessId) -> bool;
+
+    /// Immutable access to a process (e.g. to read architectural state
+    /// after the run).
+    fn process(&self, id: ProcessId) -> &dyn Process<V>;
+
+    /// Enables or disables channel-trace recording (enabled by default).
+    fn set_trace_enabled(&mut self, enabled: bool);
+
+    /// The recorded channel traces (one per channel, in channel order),
+    /// materialised into standalone [`ChannelTrace`]s.
+    fn channel_traces(&self) -> Vec<ChannelTrace<V>>;
+
+    /// Liveness guard consulted by [`Simulator::run_until_halt`] before
+    /// every step: `Some(err)` aborts the run.  The latency-insensitive
+    /// simulators report [`SimError::Deadlock`] here once no process has
+    /// fired for a full deadlock window; the golden simulators, which fire
+    /// every process every cycle, keep the default `None`.
+    fn halt_guard(&self) -> Option<SimError> {
+        None
+    }
+
+    /// Runs until the process `halt_on` reports a halted state or the cycle
+    /// limit is reached, and returns the number of cycles simulated so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MaxCyclesExceeded`] when the limit is hit first,
+    /// whatever [`Simulator::halt_guard`] reports (deadlock), or a protocol
+    /// violation from [`Simulator::step`].
+    fn run_until_halt(&mut self, halt_on: ProcessId, max_cycles: u64) -> Result<u64, SimError> {
+        while !self.is_halted(halt_on) {
+            if self.cycles() >= max_cycles {
+                return Err(SimError::MaxCyclesExceeded { max_cycles });
+            }
+            if let Some(err) = self.halt_guard() {
+                return Err(err);
+            }
+            self.step()?;
+        }
+        Ok(self.cycles())
+    }
+
+    /// Runs for exactly `cycles` additional cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol violation from [`Simulator::step`] if one occurs.
+    fn run_for(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(())
+    }
+}
+
+/// Implements the four arena-backed trace accessors (`traces`,
+/// `trace_arena`, `reserve_traces`, `clear_traces`) for a simulator type
+/// holding its recordings in a `traces: TraceArena<V>` field.  The three
+/// arena-recording simulators used to carry copy-pasted versions of these;
+/// they now share this one definition.
+macro_rules! impl_trace_arena_accessors {
+    ($ty:ident) => {
+        impl<V: Clone> $ty<V> {
+            /// The recorded channel traces (one per channel, in channel
+            /// order), materialised out of the trace arena into standalone
+            /// [`wp_core::ChannelTrace`]s for compatibility with the
+            /// pre-arena API; use [`Self::trace_arena`] to read the
+            /// recordings without copying.
+            pub fn traces(&self) -> Vec<wp_core::ChannelTrace<V>> {
+                self.traces.to_channel_traces()
+            }
+
+            /// Borrowed access to the arena-backed channel recordings.
+            pub fn trace_arena(&self) -> &wp_core::TraceArena<V> {
+                &self.traces
+            }
+
+            /// Reserves trace capacity for `cycles` more simulated cycles,
+            /// so the recording itself performs no heap allocation over
+            /// that window (the counting-allocator test
+            /// `steady_state_alloc_free` pins this for the arena kernels).
+            pub fn reserve_traces(&mut self, cycles: usize) {
+                self.traces.reserve_cycles(cycles);
+            }
+
+            /// Clears the recorded traces (names and capacity retained).
+            /// The streaming equivalence path drains and clears the arena
+            /// chunk by chunk to keep memory bounded.
+            pub fn clear_traces(&mut self) {
+                self.traces.clear();
+            }
+        }
+    };
+}
+
+pub(crate) use impl_trace_arena_accessors;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{Forward, Terminator};
+    use crate::{
+        GoldenSimulator, LidSimulator, NaiveGoldenSimulator, NaiveSimulator, SystemBuilder,
+    };
+    use wp_core::{SequenceSource, ShellConfig};
+
+    /// src -> fwd -> term: a fully connected, halting pipeline.
+    fn halting_pipeline() -> SystemBuilder<u64> {
+        let mut b = SystemBuilder::new();
+        let src = b.add_process(Box::new(SequenceSource::new("src", vec![1, 2, 3, 4], 0)));
+        let fwd = b.add_process(Box::new(Forward::new("fwd")));
+        let term = b.add_process(Box::new(Terminator::new("term")));
+        b.connect("src_fwd", src, 0, fwd, 0, 0);
+        b.connect("fwd_term", fwd, 0, term, 0, 0);
+        b
+    }
+
+    /// Drives any simulator to the halt of process 0 through the trait
+    /// alone and returns `(cycles, τ-filtered src_fwd payloads)`.
+    fn drive<S: Simulator<u64>>(sim: &mut S) -> (u64, Vec<u64>) {
+        sim.set_trace_enabled(true);
+        let cycles = sim.run_until_halt(0, 10_000).unwrap();
+        assert!(sim.is_halted(0));
+        assert!(!sim.is_halted(1));
+        assert_eq!(sim.process(0).name(), "src");
+        assert_eq!(cycles, sim.cycles());
+        (cycles, sim.channel_traces()[0].filtered())
+    }
+
+    #[test]
+    fn every_simulator_drives_through_the_trait() {
+        let mut golden = GoldenSimulator::new(halting_pipeline()).unwrap();
+        let mut naive_golden = NaiveGoldenSimulator::new(halting_pipeline()).unwrap();
+        let mut lid = LidSimulator::new(halting_pipeline(), ShellConfig::strict()).unwrap();
+        let mut naive = NaiveSimulator::new(halting_pipeline(), ShellConfig::strict()).unwrap();
+
+        let g = drive(&mut golden);
+        let ng = drive(&mut naive_golden);
+        let l = drive(&mut lid);
+        let n = drive(&mut naive);
+
+        // Each kernel agrees with its seed twin cycle-for-cycle, and every
+        // simulator observes the same τ-filtered sequence.
+        assert_eq!(g, ng);
+        assert_eq!(l, n);
+        assert_eq!(g.1, vec![1, 2, 3, 4]);
+        assert_eq!(l.1, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trait_run_matches_inherent_run_on_the_lid_kernel() {
+        let mut via_trait = LidSimulator::new(halting_pipeline(), ShellConfig::strict()).unwrap();
+        let mut via_inherent =
+            LidSimulator::new(halting_pipeline(), ShellConfig::strict()).unwrap();
+        let a = Simulator::run_until_halt(&mut via_trait, 0, 10_000).unwrap();
+        let b = via_inherent.run_until_halt(0, 10_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(via_trait.traces(), via_inherent.traces());
+    }
+
+    #[test]
+    fn halt_guard_surfaces_deadlock_through_the_trait() {
+        let mut sim = LidSimulator::new(halting_pipeline(), ShellConfig::strict()).unwrap();
+        sim.set_deadlock_window(0);
+        assert!(matches!(
+            Simulator::run_until_halt(&mut sim, 0, 10_000),
+            Err(SimError::Deadlock { .. })
+        ));
+        // The golden pair has no guard at all.
+        let golden = GoldenSimulator::new(halting_pipeline()).unwrap();
+        assert!(Simulator::halt_guard(&golden).is_none());
+    }
+
+    #[test]
+    fn run_for_steps_exactly_through_the_trait() {
+        let mut sim = GoldenSimulator::new(halting_pipeline()).unwrap();
+        Simulator::run_for(&mut sim, 3).unwrap();
+        assert_eq!(Simulator::cycles(&sim), 3);
+    }
+
+    #[test]
+    fn max_cycles_guard_fires_through_the_trait() {
+        let mut sim = LidSimulator::new(halting_pipeline(), ShellConfig::strict()).unwrap();
+        // fwd (process 1) never halts, so the limit is what stops the run.
+        assert!(matches!(
+            Simulator::run_until_halt(&mut sim, 1, 2),
+            Err(SimError::MaxCyclesExceeded { max_cycles: 2 })
+        ));
+    }
+}

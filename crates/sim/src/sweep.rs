@@ -147,6 +147,8 @@ pub struct Scenario<V, T = ()> {
     stall: Option<StallSchedule>,
     /// Lane-batching opt-in installed by [`Scenario::with_lane_key`].
     lane_key: Option<String>,
+    /// Period-oracle opt-in installed by [`Scenario::with_oracle`].
+    oracle: bool,
 }
 
 impl<V, T> fmt::Debug for Scenario<V, T> {
@@ -160,6 +162,7 @@ impl<V, T> fmt::Debug for Scenario<V, T> {
             .field("equivalence_check", &self.golden.is_some())
             .field("stall", &self.stall)
             .field("lane_key", &self.lane_key)
+            .field("oracle", &self.oracle)
             .finish()
     }
 }
@@ -189,6 +192,39 @@ impl<V> Scenario<V> {
             golden: None,
             stall: None,
             lane_key: None,
+            oracle: false,
+        }
+    }
+
+    /// Re-types a post-free scenario's result slot to `T` so it can be
+    /// swept in the same batch as scenarios that extract a `T` with
+    /// [`Scenario::with_post`]; the outcome's `post` stays `None`.  Used by
+    /// the `--oracle` table sweeps, whose extrapolating rows carry no
+    /// post-extraction (an extrapolated run's architectural state is frozen
+    /// at the last simulated cycle) but share the sweep with rows that do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a post-extraction was installed — re-typing would silently
+    /// drop it.
+    #[must_use]
+    pub fn into_result_type<T>(self) -> Scenario<V, T> {
+        assert!(
+            self.post.is_none(),
+            "into_result_type would drop the installed post-extraction"
+        );
+        Scenario {
+            label: self.label,
+            config: self.config,
+            goal: self.goal,
+            build: self.build,
+            drain: self.drain,
+            post: None,
+            trace_enabled: self.trace_enabled,
+            golden: self.golden,
+            stall: self.stall,
+            lane_key: self.lane_key,
+            oracle: self.oracle,
         }
     }
 }
@@ -270,6 +306,40 @@ impl<V, T> Scenario<V, T> {
         self
     }
 
+    /// Lets this scenario finish by **steady-state extrapolation**: once
+    /// the simulator's control plane revisits a state, the goal cycle and
+    /// every firing counter are computed in O(1) instead of simulating
+    /// millions of steady-state cycles (see
+    /// [`crate::LidSimulator::run_until_firings_extrapolated`]).  The
+    /// outcome is bit-identical to plain simulation; the saving lands in
+    /// the sweep's [`SweepStats::oracle_extrapolated_cycles`].
+    ///
+    /// Extrapolation applies only to [`RunGoal::UntilFirings`] scenarios
+    /// that need nothing from the post-goal simulator state — no drain, no
+    /// traces, no golden equivalence twin, no post-extraction; anything
+    /// else, and non-strict or stalled runs, simulates plainly (counted in
+    /// [`SweepStats::oracle_fallbacks`]).
+    #[must_use]
+    pub fn with_oracle(mut self) -> Self {
+        self.oracle = true;
+        self
+    }
+
+    /// Whether this scenario may take the extrapolating oracle path: it
+    /// opted in, stops on a firing count and needs nothing from the
+    /// simulator after the goal (an extrapolated simulator's architectural
+    /// state is frozen at the last simulated cycle).  Policy and stall
+    /// eligibility are checked by the kernels themselves, which fall back
+    /// to plain simulation — never to a wrong result.
+    fn oracle_eligible(&self) -> bool {
+        self.oracle
+            && matches!(self.goal, RunGoal::UntilFirings { .. })
+            && self.drain.is_none()
+            && self.post.is_none()
+            && self.golden.is_none()
+            && !self.trace_enabled
+    }
+
     /// Whether this scenario may be packed into a lane batch: it opted in,
     /// uses strict shells (the oracle policy consults payload-dependent
     /// firing profiles) and needs nothing payload-sensitive — no traces, no
@@ -301,6 +371,7 @@ impl<V, T> Scenario<V, T> {
             golden: self.golden,
             stall: self.stall,
             lane_key: self.lane_key,
+            oracle: self.oracle,
         }
     }
 }
@@ -367,6 +438,42 @@ pub struct SweepStats {
     /// scalar kernel at execution time (the built systems were not
     /// structurally identical, or the lane kernel rejected the batch).
     pub lane_fallbacks: u64,
+    /// Cycles actually simulated by oracle-enabled scenarios (see
+    /// [`Scenario::with_oracle`]).
+    pub oracle_simulated_cycles: u64,
+    /// Cycles the period oracle extrapolated instead of simulating —
+    /// reported cycles minus simulated cycles, summed over oracle-enabled
+    /// scenarios.
+    pub oracle_extrapolated_cycles: u64,
+    /// Oracle-enabled scenarios whose steady-state tail was extrapolated.
+    pub oracle_extrapolations: u64,
+    /// Oracle-enabled scenarios that simulated to their goal plainly (no
+    /// period found, stall schedule installed, or a non-strict policy).
+    pub oracle_fallbacks: u64,
+}
+
+/// Shared atomic accumulators for the oracle columns of [`SweepStats`].
+#[derive(Debug, Default)]
+struct OracleTally {
+    simulated: AtomicU64,
+    extrapolated: AtomicU64,
+    extrapolations: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl OracleTally {
+    /// Accounts one finished oracle run.
+    fn record(&self, run: &crate::oracle::OracleRun) {
+        self.simulated
+            .fetch_add(run.simulated_cycles, Ordering::Relaxed);
+        self.extrapolated
+            .fetch_add(run.extrapolated_cycles(), Ordering::Relaxed);
+        if run.extrapolated {
+            self.extrapolations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Runs independent scenarios across a pool of `std::thread` workers with a
@@ -511,12 +618,14 @@ impl SweepRunner {
         let lane_batches = AtomicU64::new(0);
         let lanes_filled = AtomicU64::new(0);
         let lane_fallbacks = AtomicU64::new(0);
+        let oracle = OracleTally::default();
 
         {
             let (scenarios, slots, queues, items) = (&scenarios, &slots, &queues, &items);
             let (leases, steals) = (&leases, &steals);
             let (lane_batches, lanes_filled, lane_fallbacks) =
                 (&lane_batches, &lanes_filled, &lane_fallbacks);
+            let oracle = &oracle;
             std::thread::scope(|scope| {
                 for me in 0..workers {
                     scope.spawn(move || {
@@ -532,11 +641,17 @@ impl SweepRunner {
                                 leases.fetch_add(1, Ordering::Relaxed);
                                 match &items[index] {
                                     WorkItem::Single(i) => {
+                                        let s = &scenarios[*i];
+                                        let result = if s.oracle_eligible() {
+                                            execute_oracle(s, oracle)
+                                        } else {
+                                            execute(s)
+                                        };
                                         *slots[*i].lock().expect("sweep slot poisoned") =
-                                            Some(execute(&scenarios[*i]));
+                                            Some(result);
                                     }
                                     WorkItem::Batch(lanes) => {
-                                        match execute_lane_batch(scenarios, lanes) {
+                                        match execute_lane_batch(scenarios, lanes, oracle) {
                                             Some(results) => {
                                                 lane_batches.fetch_add(1, Ordering::Relaxed);
                                                 lanes_filled.fetch_add(
@@ -557,10 +672,16 @@ impl SweepRunner {
                                                     Ordering::Relaxed,
                                                 );
                                                 for &i in lanes {
+                                                    let s = &scenarios[i];
+                                                    let result = if s.oracle_eligible() {
+                                                        execute_oracle(s, oracle)
+                                                    } else {
+                                                        execute(s)
+                                                    };
                                                     *slots[i]
                                                         .lock()
                                                         .expect("sweep slot poisoned") =
-                                                        Some(execute(&scenarios[i]));
+                                                        Some(result);
                                                 }
                                             }
                                         }
@@ -628,6 +749,10 @@ impl SweepRunner {
             lane_batches: lane_batches.into_inner(),
             lanes_filled: lanes_filled.into_inner(),
             lane_fallbacks: lane_fallbacks.into_inner(),
+            oracle_simulated_cycles: oracle.simulated.into_inner(),
+            oracle_extrapolated_cycles: oracle.extrapolated.into_inner(),
+            oracle_extrapolations: oracle.extrapolations.into_inner(),
+            oracle_fallbacks: oracle.fallbacks.into_inner(),
         };
         (outcomes, stats)
     }
@@ -652,6 +777,7 @@ fn same_lane_group<V, T>(a: &Scenario<V, T>, b: &Scenario<V, T>) -> bool {
         && a.config == b.config
         && a.goal == b.goal
         && a.drain == b.drain
+        && a.oracle == b.oracle
         && a.stall.map(|s| s.family()) == b.stall.map(|s| s.family())
 }
 
@@ -712,6 +838,7 @@ fn same_structure<V>(a: &SystemBuilder<V>, b: &SystemBuilder<V>) -> bool {
 fn execute_lane_batch<V, T>(
     scenarios: &[Scenario<V, T>],
     batch: &[usize],
+    tally: &OracleTally,
 ) -> Option<Vec<Result<SweepOutcome<T>, SweepError>>>
 where
     V: Clone + PartialEq,
@@ -734,6 +861,42 @@ where
         .collect();
     let lead = &scenarios[batch[0]];
     let mut kernel = LaneLidSimulator::new(builders.swap_remove(0), &lanes, lead.config).ok()?;
+    // An oracle batch finishes by per-lane steady-state extrapolation (the
+    // grouping key includes the oracle flag, so the whole batch opted in);
+    // everything else runs the plain goal + drain lifecycle.
+    if let (
+        true,
+        RunGoal::UntilFirings {
+            process,
+            target,
+            max_cycles,
+        },
+    ) = (lead.oracle_eligible(), lead.goal)
+    {
+        let outcomes = kernel.run_until_firings_extrapolated(process, target, max_cycles);
+        return Some(
+            batch
+                .iter()
+                .zip(outcomes)
+                .map(|(&i, outcome)| match outcome {
+                    Ok(run) => {
+                        tally.record(&run);
+                        Ok(SweepOutcome {
+                            label: scenarios[i].label.clone(),
+                            cycles_to_goal: run.report.cycles,
+                            report: run.report,
+                            post: None,
+                            equivalence: None,
+                        })
+                    }
+                    Err(error) => Err(SweepError {
+                        label: scenarios[i].label.clone(),
+                        error,
+                    }),
+                })
+                .collect(),
+        );
+    }
     let outcomes = kernel.run(lead.goal, lead.drain);
     Some(
         batch
@@ -894,6 +1057,46 @@ fn feed_new_tokens<V: Clone>(
         }
         *cursor = view.valid_count();
     }
+}
+
+/// Builds and runs one oracle-eligible scenario through the extrapolating
+/// kernel (see [`Scenario::with_oracle`]); the simulator itself falls back
+/// to plain simulation when the run turns out ineligible (non-strict
+/// policy, stall schedule) or no period is found, so the outcome is always
+/// bit-identical to [`execute`] without the drain/trace/post extras.
+fn execute_oracle<V, T>(
+    scenario: &Scenario<V, T>,
+    tally: &OracleTally,
+) -> Result<SweepOutcome<T>, SweepError>
+where
+    V: Clone + PartialEq,
+{
+    let fail = |error: SimError| SweepError {
+        label: scenario.label.clone(),
+        error,
+    };
+    let RunGoal::UntilFirings {
+        process,
+        target,
+        max_cycles,
+    } = scenario.goal
+    else {
+        unreachable!("oracle_eligible() requires an UntilFirings goal");
+    };
+    let mut sim = LidSimulator::new((scenario.build)(), scenario.config).map_err(fail)?;
+    sim.set_trace_enabled(false);
+    sim.set_stall_schedule(scenario.stall);
+    let run = sim
+        .run_until_firings_extrapolated(process, target, max_cycles)
+        .map_err(fail)?;
+    tally.record(&run);
+    Ok(SweepOutcome {
+        label: scenario.label.clone(),
+        cycles_to_goal: run.report.cycles,
+        report: run.report,
+        post: None,
+        equivalence: None,
+    })
 }
 
 /// Builds, runs and summarises one scenario (always inside a worker thread).
@@ -1445,6 +1648,148 @@ mod tests {
                 .any(|(_, v)| *v == ChannelVerdict::Unpaired),
             "{report}"
         );
+    }
+
+    /// Oracle-enabled ring scenarios (scalar path): outcomes must be
+    /// bit-identical to the plain sweep, and the stats must show that the
+    /// steady-state tails were extrapolated rather than simulated.
+    #[test]
+    fn oracle_sweep_matches_the_plain_sweep_and_reports_the_saving() {
+        let scenarios = |oracle: bool| -> Vec<Scenario<u64>> {
+            let mut out = Vec::new();
+            for stages in 2..=4usize {
+                for rs in 0..=2usize {
+                    let mut s = Scenario::new(
+                        format!("ring_m{stages}_n{rs}"),
+                        ShellConfig::strict(),
+                        RunGoal::UntilFirings {
+                            process: 0,
+                            target: 20_000,
+                            max_cycles: 1_000_000,
+                        },
+                        move || ring(stages, rs),
+                    );
+                    if oracle {
+                        s = s.with_oracle();
+                    }
+                    out.push(s);
+                }
+            }
+            out
+        };
+        let n = scenarios(true).len() as u64;
+        let (reference, plain_stats) = SweepRunner::new(2).run_with_stats(scenarios(false));
+        assert_eq!(plain_stats.oracle_extrapolations, 0);
+        assert_eq!(plain_stats.oracle_simulated_cycles, 0);
+        let (outcomes, stats) = SweepRunner::new(2).run_with_stats(scenarios(true));
+        for (o, r) in outcomes.iter().zip(&reference) {
+            let (o, r) = (
+                o.as_ref().expect("completes"),
+                r.as_ref().expect("completes"),
+            );
+            assert_eq!(o, r, "{}", o.label);
+        }
+        assert_eq!(stats.oracle_extrapolations, n, "every ring extrapolates");
+        assert_eq!(stats.oracle_fallbacks, 0);
+        assert!(
+            stats.oracle_simulated_cycles * 10 <= stats.oracle_extrapolated_cycles,
+            "simulated {} vs extrapolated {}",
+            stats.oracle_simulated_cycles,
+            stats.oracle_extrapolated_cycles
+        );
+    }
+
+    /// Oracle + lane batching compose: the batch runs bit-parallel AND
+    /// extrapolates, still matching the all-scalar plain sweep exactly.
+    #[test]
+    fn oracle_lane_batches_match_the_scalar_sweep() {
+        let scenarios = |oracle: bool, lane: bool| -> Vec<Scenario<u64>> {
+            (0..6usize)
+                .map(|k| {
+                    let rs = k % 3;
+                    let mut s = Scenario::new(
+                        format!("ring_k{k}"),
+                        ShellConfig::strict(),
+                        RunGoal::UntilFirings {
+                            process: 0,
+                            target: 20_000,
+                            max_cycles: 1_000_000,
+                        },
+                        move || ring(3, rs),
+                    );
+                    if oracle {
+                        s = s.with_oracle();
+                    }
+                    if lane {
+                        s = s.with_lane_key("ring3");
+                    }
+                    s
+                })
+                .collect()
+        };
+        let reference: Vec<SweepOutcome> = scenarios(false, false)
+            .iter()
+            .map(|s| execute(s).expect("scalar ring completes"))
+            .collect();
+        let (outcomes, stats) = SweepRunner::new(2).run_with_stats(scenarios(true, true));
+        let outcomes: Vec<SweepOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("lane ring completes"))
+            .collect();
+        assert_eq!(outcomes, reference);
+        assert_eq!(stats.lane_batches, 1, "one shared netlist, one batch");
+        assert_eq!(stats.lanes_filled, 6);
+        assert_eq!(stats.oracle_extrapolations, 6);
+        assert!(stats.oracle_simulated_cycles * 10 <= stats.oracle_extrapolated_cycles);
+    }
+
+    /// Scenarios that need the post-goal simulator — a drain, a post
+    /// extraction — or stop on a halt never take the oracle path even when
+    /// they opted in; their outcomes are untouched.
+    #[test]
+    fn oracle_opt_in_is_ignored_for_ineligible_scenarios() {
+        let goal = RunGoal::UntilFirings {
+            process: 0,
+            target: 200,
+            max_cycles: 100_000,
+        };
+        let scenarios = vec![
+            Scenario::<u64>::new("drained", ShellConfig::strict(), goal, || ring(2, 1))
+                .with_drain(4, 100)
+                .with_oracle(),
+            Scenario::<u64>::new("posted", ShellConfig::strict(), goal, || ring(2, 1))
+                .with_oracle()
+                .with_post(|_sim| ()),
+        ];
+        let (outcomes, stats) = SweepRunner::new(1).run_with_stats(scenarios);
+        assert!(outcomes.iter().all(Result::is_ok));
+        assert_eq!(stats.oracle_extrapolations, 0);
+        assert_eq!(stats.oracle_fallbacks, 0);
+        assert_eq!(stats.oracle_simulated_cycles, 0);
+    }
+
+    /// An oracle scenario under the non-strict policy falls back inside the
+    /// kernel: same outcome as plain, counted as a fallback.
+    #[test]
+    fn oracle_scenarios_under_wp2_fall_back_and_are_counted() {
+        let goal = RunGoal::UntilFirings {
+            process: 0,
+            target: 200,
+            max_cycles: 100_000,
+        };
+        let scenario = |oracle: bool| {
+            let mut s = Scenario::<u64>::new("wp2", ShellConfig::oracle(), goal, || ring(2, 1));
+            if oracle {
+                s = s.with_oracle();
+            }
+            vec![s]
+        };
+        let reference = SweepRunner::new(1).run(scenario(false)).remove(0).unwrap();
+        let (outcomes, stats) = SweepRunner::new(1).run_with_stats(scenario(true));
+        assert_eq!(outcomes[0].as_ref().unwrap(), &reference);
+        assert_eq!(stats.oracle_fallbacks, 1);
+        assert_eq!(stats.oracle_extrapolations, 0);
+        assert_eq!(stats.oracle_extrapolated_cycles, 0);
     }
 
     /// `with_traces` + `with_equivalence_check`: the caller's traces must

@@ -11,7 +11,7 @@
 
 use wp_core::SyncPolicy;
 use wp_floorplan::{anneal, AnnealConfig, Block, Floorplan, WireModel};
-use wp_netlist::predicted_throughput;
+use wp_netlist::ThroughputModel;
 use wp_proc::{
     build_soc, extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig,
 };
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:<8} {}", link.label(), rs.get(link));
     }
 
-    let law = predicted_throughput(&build_soc(&workload, organization, &rs).to_netlist());
+    let law = ThroughputModel::Exact.predict(&build_soc(&workload, organization, &rs).to_netlist());
     let golden = run_golden_soc(&workload, organization, MAX_CYCLES)?;
     let wp1 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Strict, MAX_CYCLES)?;
     let wp2 = run_wp_soc(&workload, organization, &rs, SyncPolicy::Oracle, MAX_CYCLES)?;

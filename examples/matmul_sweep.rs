@@ -14,7 +14,7 @@
 
 use wp_bench::{soc_scenario, SweepArgs};
 use wp_core::SyncPolicy;
-use wp_netlist::predicted_throughput;
+use wp_netlist::ThroughputModel;
 use wp_proc::{build_soc, matrix_multiply, run_golden_soc, Link, Organization, RsConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,7 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for link in links {
         for n_rs in 1..=3usize {
             let rs = RsConfig::single(link, n_rs);
-            let law = predicted_throughput(&build_soc(&workload, organization, &rs).to_netlist());
+            let law = ThroughputModel::Exact
+                .predict(&build_soc(&workload, organization, &rs).to_netlist());
             let wp1 = outcomes.next().expect("one outcome per scenario")?;
             let wp2 = outcomes.next().expect("one outcome per scenario")?;
             for outcome in [&wp1, &wp2] {

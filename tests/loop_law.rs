@@ -2,7 +2,7 @@
 //! `wp-core`, `wp-sim` and `wp-netlist`.
 
 use wp_core::{PortSet, Process, ShellConfig};
-use wp_netlist::{analyze_loops, loop_throughput, Netlist};
+use wp_netlist::{Netlist, ThroughputModel};
 use wp_sim::{LidSimulator, SystemBuilder};
 
 /// A ring stage that increments and forwards; the first stage optionally
@@ -103,16 +103,22 @@ fn measure(stages: usize, rs: usize, period: Option<u64>, config: ShellConfig) -
 fn strict_rings_match_the_law_and_the_netlist_analysis() {
     for (m, n) in [(1usize, 1usize), (2, 1), (3, 2), (5, 3)] {
         let measured = measure(m, n, None, ShellConfig::strict());
-        let law = loop_throughput(m, n);
+        let law = ThroughputModel::law(m, n);
         assert!(
             (measured - law).abs() < 0.02,
             "m={m} n={n}: measured {measured:.3}, law {law:.3}"
         );
 
-        // The same number comes out of the graph-level analysis.
-        let builder = ring(m, n, None);
-        let analysis = analyze_loops(&builder.to_netlist(), 1000);
-        assert!((analysis.system_throughput() - law).abs() < 1e-12);
+        // The same number comes out of the graph-level analysis, from both
+        // backends, bit-identically.
+        let net = ring(m, n, None).to_netlist();
+        let enumerated = ThroughputModel::Enumerated { max_loops: 1000 }.analyze(&net);
+        assert!(enumerated.is_exhaustive());
+        assert!((enumerated.system_throughput() - law).abs() < 1e-12);
+        assert_eq!(
+            ThroughputModel::Exact.predict(&net),
+            enumerated.system_throughput()
+        );
     }
 }
 
@@ -122,7 +128,7 @@ fn oracle_throughput_interpolates_between_law_and_ideal() {
     let mut last = 0.0;
     for period in [1u64, 2, 4, 8] {
         let th = measure(2, 1, Some(period), ShellConfig::oracle());
-        assert!(th >= loop_throughput(2, 1) - 0.02);
+        assert!(th >= ThroughputModel::law(2, 1) - 0.02);
         assert!(th <= 1.0 + 1e-9);
         assert!(th >= last - 0.02, "throughput should grow with the period");
         last = th;
@@ -137,5 +143,11 @@ fn acyclic_netlists_are_not_limited_by_relay_stations() {
     let b = net.add_node("B");
     let e = net.add_edge("ab", a, b);
     net.set_relay_stations(e, 10);
-    assert_eq!(analyze_loops(&net, 100).system_throughput(), 1.0);
+    assert_eq!(ThroughputModel::Exact.predict(&net), 1.0);
+    assert_eq!(
+        ThroughputModel::Enumerated { max_loops: 100 }
+            .analyze(&net)
+            .system_throughput(),
+        1.0
+    );
 }

@@ -66,8 +66,8 @@ fn floorplan_driven_relay_budget_runs_and_respects_the_prediction() {
     // The annealer's prediction uses the per-channel budget; the per-link
     // configuration rounds up, so the measured WP1 throughput may only be
     // equal or lower — but never higher than the law for its own netlist.
-    let law =
-        wp_netlist::predicted_throughput(&build_soc(&workload, organization, &rs).to_netlist());
+    let law = wp_netlist::ThroughputModel::Exact
+        .predict(&build_soc(&workload, organization, &rs).to_netlist());
     assert!(
         th1 <= law + 0.05,
         "WP1 {th1:.3} should not beat the law {law:.3}"

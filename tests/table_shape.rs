@@ -2,7 +2,7 @@
 //! Table 1: who wins, by roughly what factor, and where the worst links are.
 
 use wp_core::SyncPolicy;
-use wp_netlist::predicted_throughput;
+use wp_netlist::ThroughputModel;
 use wp_proc::{
     build_soc, extraction_sort, run_golden_soc, run_wp_soc, Link, Organization, RsConfig,
 };
@@ -39,9 +39,8 @@ fn single_link_sweep(n_rs: usize) -> Vec<Measured> {
                 MAX_CYCLES,
             )
             .unwrap();
-            let law = predicted_throughput(
-                &build_soc(&workload, Organization::Pipelined, &rs).to_netlist(),
-            );
+            let law = ThroughputModel::Exact
+                .predict(&build_soc(&workload, Organization::Pipelined, &rs).to_netlist());
             Measured {
                 link,
                 th_wp1: wp1.throughput_vs(golden.cycles),
