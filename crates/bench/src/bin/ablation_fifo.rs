@@ -14,8 +14,8 @@
 //! `--emit-ndjson`), merging to byte-identical output.
 
 use wp_bench::{
-    json_opt_usize, soc_scenario_with_config, sort_workload, with_soc_equivalence, ShardArgs,
-    SweepArgs, MAX_CYCLES,
+    json_opt_usize, soc_factory, soc_scenario_with_config, sort_workload, ScenarioWiring,
+    ShardArgs, SweepArgs, MAX_CYCLES,
 };
 use wp_core::ShellConfig;
 use wp_proc::SocState;
@@ -40,6 +40,7 @@ struct Row {
 fn scenarios(verify: bool) -> Vec<Scenario<wp_proc::Msg, SocState>> {
     let workload = sort_workload();
     let rs = RsConfig::uniform(1, &[Link::CuIc]);
+    let wiring = ScenarioWiring::new().verified(verify);
     DEPTHS
         .iter()
         .flat_map(|&depth| {
@@ -55,11 +56,10 @@ fn scenarios(verify: bool) -> Vec<Scenario<wp_proc::Msg, SocState>> {
                     rs,
                     config.with_fifo_capacity(depth),
                 );
-                if verify {
-                    with_soc_equivalence(scenario, &workload, Organization::Pipelined, rs)
-                } else {
-                    scenario
-                }
+                wiring.wire_verified(
+                    scenario,
+                    soc_factory(&workload, Organization::Pipelined, rs),
+                )
             })
         })
         .collect()

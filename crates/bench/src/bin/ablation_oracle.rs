@@ -15,8 +15,8 @@
 //! `--emit-ndjson`), merging to byte-identical output.
 
 use wp_bench::{
-    build_degraded_ring, degraded_ring_scenario, json_f64, json_opt_usize, json_string, ShardArgs,
-    SweepArgs,
+    build_degraded_ring, degraded_ring_scenario, json_f64, json_opt_usize, json_string,
+    ScenarioWiring, ShardArgs, SweepArgs,
 };
 use wp_core::SyncPolicy;
 use wp_sim::{Scenario, SweepOutcome};
@@ -35,13 +35,10 @@ struct Row {
 /// then the exact oracle (the global row numbering shared by the sharding
 /// parent and its workers).
 fn scenarios(verify: bool) -> Vec<Scenario<u64>> {
-    let scenario = |label: String, period: Option<u64>, policy: SyncPolicy| -> Scenario<u64> {
+    let wiring = ScenarioWiring::new().verified(verify);
+    let scenario = move |label: String, period: Option<u64>, policy: SyncPolicy| -> Scenario<u64> {
         let s = degraded_ring_scenario(label, period, policy, FIRINGS);
-        if verify {
-            s.with_equivalence_check(move || build_degraded_ring(period))
-        } else {
-            s
-        }
+        wiring.wire_verified(s, move || build_degraded_ring(period))
     };
     let mut scenarios = vec![scenario("wp1".into(), None, SyncPolicy::Strict)];
     for period in PERIODS {

@@ -11,8 +11,8 @@
 //! `--emit-ndjson`), merging to byte-identical output.
 
 use wp_bench::{
-    predict_wp1_throughput, soc_oracle_scenario, soc_scenario, sort_workload, LaneMode, ShardArgs,
-    SweepArgs, MAX_CYCLES,
+    predict_wp1_throughput, soc_oracle_scenario, soc_scenario, sort_workload, LaneMode,
+    ScenarioWiring, ShardArgs, SweepArgs, MAX_CYCLES,
 };
 use wp_core::SyncPolicy;
 use wp_netlist::{loop_inventory, to_dot, ThroughputModel, DEFAULT_MAX_LOOPS};
@@ -34,6 +34,7 @@ fn link_scenarios(
     lanes: LaneMode,
     oracle_target: Option<u64>,
 ) -> Vec<Scenario<wp_proc::Msg, wp_proc::SocState>> {
+    let wiring = ScenarioWiring::new().lane_key(lanes, "figure1/wp1");
     Link::ALL
         .iter()
         .map(|&link| {
@@ -50,11 +51,7 @@ fn link_scenarios(
                     SyncPolicy::Strict,
                 ),
             };
-            if lanes.tags_lanes() {
-                scenario.with_lane_key("figure1/wp1")
-            } else {
-                scenario
-            }
+            wiring.wire(scenario)
         })
         .collect()
 }

@@ -12,7 +12,7 @@
 //! `wp_sim` tests — and the saving is reported on stderr), while
 //! oracle-policy rings fall back to plain simulation and are counted.
 
-use wp_bench::{ring_scenario, OracleMode, SweepArgs};
+use wp_bench::{ring_scenario, OracleMode, ScenarioWiring, SweepArgs};
 use wp_core::SyncPolicy;
 use wp_netlist::ThroughputModel;
 use wp_sim::{Scenario, SweepError, SweepOutcome, SweepRunner, SweepStats};
@@ -31,16 +31,8 @@ fn sweep(
     scenarios: Vec<Scenario<u64>>,
     stats: &mut SweepStats,
 ) -> Result<Vec<SweepOutcome>, SweepError> {
-    let scenarios = scenarios
-        .into_iter()
-        .map(|s| {
-            if oracle.converts_rows() {
-                s.with_oracle()
-            } else {
-                s
-            }
-        })
-        .collect();
+    let wiring = ScenarioWiring::new().oracle(oracle);
+    let scenarios = scenarios.into_iter().map(|s| wiring.wire(s)).collect();
     let (outcomes, sweep_stats) = runner.run_with_stats(scenarios);
     stats.oracle_simulated_cycles += sweep_stats.oracle_simulated_cycles;
     stats.oracle_extrapolated_cycles += sweep_stats.oracle_extrapolated_cycles;

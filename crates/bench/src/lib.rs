@@ -10,6 +10,7 @@
 mod args;
 mod compare;
 mod json;
+mod wiring;
 
 pub use args::{flag_value, ArgError, LaneMode, OracleMode, ShardArgs, SweepArgs};
 pub use compare::{compare_reports, BenchComparison};
@@ -17,6 +18,7 @@ pub use json::{
     bench_report_json, json_f64, json_opt_usize, json_string, table_row_from_json,
     table_row_ndjson, BenchTable,
 };
+pub use wiring::ScenarioWiring;
 
 use wp_core::{PortSet, Process, ShellConfig, SyncPolicy};
 use wp_proc::{
@@ -275,19 +277,17 @@ pub fn soc_oracle_scenario(
     .into_result_type()
 }
 
-/// Installs the per-scenario equivalence gate on a SoC sweep scenario: the
-/// run is streamed against a demand-stepped golden twin of the *same*
-/// system description (`wp_sim::GoldenSimulator` ignores shells and relay
-/// stations, so the twin shares the factory), and the proven N lands in the
-/// outcome's [`wp_sim::SweepOutcome::equivalence`].
-pub fn with_soc_equivalence<T>(
-    scenario: Scenario<Msg, T>,
+/// An owned SoC system factory: the closure handed to
+/// [`ScenarioWiring::wire_verified`] as the golden twin of a SoC scenario
+/// (`wp_sim::GoldenSimulator` ignores shells and relay stations, so the
+/// twin shares the factory with the wire-pipelined run).
+pub fn soc_factory(
     workload: &Workload,
     org: Organization,
     rs: RsConfig,
-) -> Scenario<Msg, T> {
+) -> impl Fn() -> SystemBuilder<Msg> + Send + Sync + 'static {
     let workload = workload.clone();
-    scenario.with_equivalence_check(move || build_soc(&workload, org, &rs))
+    move || build_soc(&workload, org, &rs)
 }
 
 /// Builds the sweep scenario for one synthetic-ring throughput measurement:
@@ -494,18 +494,17 @@ fn run_table_impl(
     for (label, rs) in configs {
         for policy in [SyncPolicy::Strict, SyncPolicy::Oracle] {
             let row_label = format!("{label}/{}", policy.label());
-            let mut scenario = if convert && policy == SyncPolicy::Strict {
+            // The oracle conversion happens at construction (the goal is
+            // re-expressed as a firing count), not as a wired feature.
+            let scenario = if convert && policy == SyncPolicy::Strict {
                 soc_oracle_scenario(row_label, workload, org, *rs, golden.cycles)
             } else {
                 soc_scenario(row_label, workload, org, *rs, policy)
             };
-            if lanes.tags_lanes() {
-                scenario = scenario.with_lane_key(format!("soc/{}", policy.label()));
-            }
-            if verify {
-                scenario = with_soc_equivalence(scenario, workload, org, *rs);
-            }
-            scenarios.push(scenario);
+            let wiring = ScenarioWiring::new()
+                .lane_key(lanes, format!("soc/{}", policy.label()))
+                .verified(verify);
+            scenarios.push(wiring.wire_verified(scenario, soc_factory(workload, org, *rs)));
         }
     }
     let (outcomes, stats) = runner.run_with_stats(scenarios);

@@ -1,0 +1,98 @@
+//! Generator-soundness property test: every netlist `wp_gen` produces is
+//! a *self-checking* test case end to end through the spec pipeline —
+//! after latency→relay insertion and lowering through the synthetic
+//! registry,
+//!
+//! * the wire-pipelined (WP1 strict) run is stream-equivalent to its
+//!   demand-stepped golden twin, and
+//! * the steady-state throughput the lane kernel measures matches the
+//!   exact max-cycle-ratio prediction on every lane's budget.
+//!
+//! This is the property `netlist_run --verify` enforces per netlist,
+//! pinned here over proptest-drawn seeds and latency mixes.
+
+use proptest::prelude::*;
+use wp_core::ShellConfig;
+use wp_gen::{generate, GenConfig};
+use wp_netlist::ThroughputModel;
+use wp_sim::{LaneLidSimulator, LaneScenario, RunGoal, Scenario, SweepRunner};
+use wp_spec::{lower, synthetic_registry};
+
+/// Lane budgets sampled per netlist: lane `k` adds `k` relay stations to
+/// the first (backbone) channel.
+const LANES: usize = 4;
+/// Steady-state firing target; period detection extrapolates, so the
+/// simulated prefix stays short.
+const FIRINGS: u64 = 20_000;
+/// Firing target of the streamed equivalence run.
+const EQUIV_FIRINGS: u64 = 2_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn generated_netlists_are_equivalent_and_hit_the_exact_mcr(
+        seed in any::<u64>(),
+        latency_percent in 0u8..101,
+    ) {
+        let cfg = GenConfig { seed, latency_percent, ..GenConfig::default() };
+        let mut spec = generate(&cfg);
+        spec.insert_relays(1.0);
+        prop_assert!(spec.check().is_ok());
+
+        // Streamed lid-vs-golden equivalence of the WP1 run.
+        let factory = {
+            let spec = spec.clone();
+            move || lower(&spec, &synthetic_registry()).expect("generated specs lower")
+        };
+        let golden = {
+            let spec = spec.clone();
+            move || lower(&spec, &synthetic_registry()).expect("generated specs lower")
+        };
+        let scenario = Scenario::<u64>::new(
+            format!("gen_{seed}"),
+            ShellConfig::strict(),
+            RunGoal::UntilFirings {
+                process: 0,
+                target: EQUIV_FIRINGS,
+                max_cycles: 1_000 * EQUIV_FIRINGS,
+            },
+            factory,
+        )
+        .with_equivalence_check(golden);
+        let outcome = SweepRunner::default()
+            .run(vec![scenario])
+            .pop()
+            .expect("one outcome per scenario")
+            .expect("strongly-connected netlists never deadlock");
+        let report = outcome.equivalence.expect("the gate was installed");
+        prop_assert!(report.is_equivalent(), "seed {seed}: {report}");
+
+        // Lane-measured steady state vs the exact MCR, one budget per lane.
+        let base: Vec<usize> = spec.channels.iter().map(|c| c.relay_stations).collect();
+        let lanes: Vec<LaneScenario> = (0..LANES)
+            .map(|k| {
+                let mut relay_stations = base.clone();
+                relay_stations[0] += k;
+                LaneScenario { relay_stations, stall: None }
+            })
+            .collect();
+        let builder = lower(&spec, &synthetic_registry()).expect("generated specs lower");
+        let mut sim = LaneLidSimulator::new(builder, &lanes, ShellConfig::strict())
+            .expect("generated netlists assemble");
+        for (k, outcome) in sim
+            .run_until_firings_extrapolated(0, FIRINGS, 100 * FIRINGS)
+            .into_iter()
+            .enumerate()
+        {
+            let run = outcome.expect("strongly-connected netlists never deadlock");
+            let mut lane_spec = spec.clone();
+            lane_spec.channels[0].relay_stations += k;
+            let predicted = ThroughputModel::Exact.predict(&lane_spec.to_netlist());
+            let measured = FIRINGS as f64 / run.report.cycles as f64;
+            prop_assert!(
+                (measured - predicted).abs() / predicted < 0.02,
+                "seed {seed} lane {k}: measured {measured:.6} vs exact MCR {predicted:.6}"
+            );
+        }
+    }
+}

@@ -29,7 +29,12 @@
 //!
 //! Like `wp_dist::json`, the parser is hand-rolled (the workspace builds
 //! without registry access — no serde) and fails loudly: every violation
-//! yields a [`DistError::Hostfile`] naming the offending line.
+//! yields a [`DistError::Hostfile`] naming the offending line.  The
+//! tokenizer itself (quoted values, `key=value` pairs) is the shared
+//! [`wp_lex`] lexer, which the netlist description language of `wp_spec`
+//! uses too.
+
+use wp_lex::{directive_lines, split_fields, Pairs};
 
 use crate::proto::DistError;
 use crate::transport::{Container, LocalProcess, ShellTransport, Ssh, Transport};
@@ -91,16 +96,11 @@ pub fn load_hostfile(path: &str) -> Result<Vec<Host>, DistError> {
 /// or duplicate key, an unterminated quote, or an empty hostfile.
 pub fn parse_hostfile(text: &str) -> Result<Vec<Host>, DistError> {
     let mut hosts: Vec<Host> = Vec::new();
-    for (number, raw) in text.lines().enumerate() {
-        let number = number + 1;
+    for (number, line) in directive_lines(text) {
         let err = |message: String| DistError::Hostfile {
             line: number,
             message,
         };
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
         let tokens = split_fields(line).map_err(err)?;
         let (name, transport_name) = match (tokens.first(), tokens.get(1)) {
             (Some(n), Some(t)) => (n.clone(), t.clone()),
@@ -114,22 +114,8 @@ pub fn parse_hostfile(text: &str) -> Result<Vec<Host>, DistError> {
             return Err(err(format!("duplicate host name '{name}'")));
         }
 
-        let mut pairs: Vec<(String, String)> = Vec::new();
-        for token in &tokens[2..] {
-            let (key, value) = token
-                .split_once('=')
-                .ok_or_else(|| err(format!("expected key=value, got '{token}'")))?;
-            if pairs.iter().any(|(k, _)| k == key) {
-                return Err(err(format!("duplicate key '{key}'")));
-            }
-            pairs.push((key.to_string(), value.to_string()));
-        }
-        let mut take = |key: &str| -> Option<String> {
-            pairs
-                .iter()
-                .position(|(k, _)| k == key)
-                .map(|i| pairs.remove(i).1)
-        };
+        let mut pairs = Pairs::parse(&tokens[2..]).map_err(err)?;
+        let mut take = |key: &str| pairs.take(key);
 
         let capacity = match take("capacity") {
             None => {
@@ -188,7 +174,7 @@ pub fn parse_hostfile(text: &str) -> Result<Vec<Host>, DistError> {
                 )))
             }
         };
-        if let Some((key, _)) = pairs.first() {
+        if let Some(key) = pairs.first_key() {
             return Err(err(format!(
                 "unknown key '{key}' for {transport_name} host '{name}'"
             )));
@@ -208,42 +194,6 @@ pub fn parse_hostfile(text: &str) -> Result<Vec<Host>, DistError> {
         });
     }
     Ok(hosts)
-}
-
-/// Splits a hostfile line into whitespace-separated fields, honouring
-/// double quotes (`prefix="exit 1 #"` is one field with the quotes
-/// stripped).  Returns a message (no line number — the caller attaches it)
-/// on an unterminated quote.
-fn split_fields(line: &str) -> Result<Vec<String>, String> {
-    let mut fields = Vec::new();
-    let mut current = String::new();
-    let mut in_quotes = false;
-    let mut has_field = false;
-    for c in line.chars() {
-        match c {
-            '"' => {
-                in_quotes = !in_quotes;
-                has_field = true;
-            }
-            c if c.is_whitespace() && !in_quotes => {
-                if has_field {
-                    fields.push(std::mem::take(&mut current));
-                    has_field = false;
-                }
-            }
-            c => {
-                current.push(c);
-                has_field = true;
-            }
-        }
-    }
-    if in_quotes {
-        return Err("unterminated '\"' quote".to_string());
-    }
-    if has_field {
-        fields.push(current);
-    }
-    Ok(fields)
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use crate::graph::Netlist;
+use crate::graph::{EdgeId, Netlist};
 use crate::throughput::ThroughputAnalysis;
 
 /// Renders the netlist as a Graphviz `digraph`.
@@ -27,21 +27,42 @@ use crate::throughput::ThroughputAnalysis;
 /// assert!(dot.contains("\"CU\" -> \"IC\""));
 /// ```
 pub fn to_dot(net: &Netlist, graph_name: &str) -> String {
+    to_dot_with(net, graph_name, None, |_| None)
+}
+
+/// [`to_dot`] with annotations: an optional graph caption (rendered as the
+/// Graphviz graph label, e.g. a relay-budget summary) and an optional
+/// per-edge note appended to the edge label in parentheses (e.g. a wire
+/// latency).  Used by `wp_spec` to render parsed and generated netlist
+/// specs with their relay placements and budgets visible.
+pub fn to_dot_with(
+    net: &Netlist,
+    graph_name: &str,
+    caption: Option<&str>,
+    edge_note: impl Fn(EdgeId) -> Option<String>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph {graph_name} {{");
     let _ = writeln!(out, "    rankdir=LR;");
     let _ = writeln!(out, "    node [shape=box, fontname=\"Helvetica\"];");
+    if let Some(caption) = caption {
+        let _ = writeln!(out, "    label=\"{caption}\";");
+        let _ = writeln!(out, "    labelloc=t;");
+    }
     for n in net.node_ids() {
         let _ = writeln!(out, "    \"{}\";", net.node(n).name());
     }
     for e in net.edge_ids() {
         let edge = net.edge(e);
         let rs = edge.relay_stations();
-        let label = if rs > 0 {
+        let mut label = if rs > 0 {
             format!("{} [{} RS]", edge.name(), rs)
         } else {
             edge.name().to_string()
         };
+        if let Some(note) = edge_note(e) {
+            let _ = write!(label, " ({note})");
+        }
         let _ = writeln!(
             out,
             "    \"{}\" -> \"{}\" [label=\"{}\"];",
@@ -90,6 +111,25 @@ mod tests {
         assert!(dot.contains("\"A\" -> \"B\" [label=\"data [2 RS]\"]"));
         assert!(dot.contains("\"B\" -> \"A\" [label=\"back\"]"));
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn annotated_dot_renders_caption_and_edge_notes() {
+        let mut net = Netlist::new();
+        let a = net.add_node("A");
+        let b = net.add_node("B");
+        let e = net.add_edge("data", a, b);
+        net.add_edge("back", b, a);
+        net.set_relay_stations(e, 1);
+        let dot = to_dot_with(&net, "g", Some("2 of 4 RS budget"), |id| {
+            (id == e).then(|| "lat 3".to_string())
+        });
+        assert!(dot.contains("label=\"2 of 4 RS budget\";"), "{dot}");
+        assert!(
+            dot.contains("\"A\" -> \"B\" [label=\"data [1 RS] (lat 3)\"]"),
+            "{dot}"
+        );
+        assert!(dot.contains("\"B\" -> \"A\" [label=\"back\"]"), "{dot}");
     }
 
     #[test]

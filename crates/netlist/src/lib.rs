@@ -67,7 +67,7 @@ mod scc;
 mod throughput;
 
 pub use cycles::{enumerate_cycles, simple_cycles, Cycle, CycleEnumeration};
-pub use dot::{loop_inventory, to_dot};
+pub use dot::{loop_inventory, to_dot, to_dot_with};
 pub use graph::{Edge, EdgeId, Netlist, Node, NodeId};
 pub use insertion::{
     assign_single_link, assign_uniform, optimize_assignment, optimize_assignment_greedy,

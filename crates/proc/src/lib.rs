@@ -65,6 +65,7 @@ mod iss;
 mod msg;
 pub mod programs;
 mod soc;
+mod spec;
 
 pub use asm::{assemble, AsmError};
 pub use blocks::{Alu, ControlUnit, DataMem, InstrMem, Organization, RegFile};
@@ -73,5 +74,6 @@ pub use msg::{AluCmd, MemKind, Msg, RegCmd};
 pub use programs::{extraction_sort, matrix_multiply, Workload};
 pub use soc::{
     build_soc, instructions_from_process, memory_from_process, run_golden_soc, run_wp_soc,
-    soc_state, Link, RsConfig, RunOutcome, SocError, SocState, ALU, CU, DC, IC, RF,
+    soc_spec, soc_state, Link, RsConfig, RunOutcome, SocError, SocState, ALU, CU, DC, IC, RF,
 };
+pub use spec::{soc_registry, soc_spec_context, SocSpecContext, SOC_KINDS};

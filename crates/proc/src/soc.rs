@@ -8,15 +8,16 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 
 use wp_core::{ChannelTrace, ShellConfig, SyncPolicy};
 use wp_sim::{GoldenSimulator, LidSimulator, ProcessId, SimError, SystemBuilder};
+use wp_spec::NetlistSpec;
 
-use crate::blocks::{
-    alu, cu, dcache, regfile, Alu, ControlUnit, DataMem, InstrMem, Organization, RegFile,
-};
+use crate::blocks::{ControlUnit, DataMem, Organization};
 use crate::msg::Msg;
 use crate::programs::Workload;
+use crate::spec::soc_registry;
 
 /// Process identifier of the control unit in the assembled system.
 pub const CU: ProcessId = 0;
@@ -244,8 +245,22 @@ impl From<SimError> for SocError {
     }
 }
 
+/// The committed fig. 1 topology (`examples/soc.nl`), parsed once.
+///
+/// Block, port and channel declaration order in the spec pins the process
+/// identifiers to [`CU`], [`IC`], [`RF`], [`ALU`], [`DC`] and the channel
+/// identifiers to the order of the original hand-built assembly.
+pub fn soc_spec() -> &'static NetlistSpec {
+    static SPEC: OnceLock<NetlistSpec> = OnceLock::new();
+    SPEC.get_or_init(|| {
+        NetlistSpec::parse(include_str!("../../../examples/soc.nl"))
+            .expect("the committed SoC spec parses")
+    })
+}
+
 /// Builds the five-block SoC for a workload, organisation and relay-station
-/// configuration.
+/// configuration, by lowering the committed [`soc_spec`] netlist through
+/// [`crate::soc_registry`].
 ///
 /// The returned builder can be handed to either [`GoldenSimulator`] or
 /// [`LidSimulator`]; the process identifiers are the constants [`CU`], [`IC`],
@@ -255,88 +270,26 @@ pub fn build_soc(
     organization: Organization,
     rs: &RsConfig,
 ) -> SystemBuilder<Msg> {
-    let mut b = SystemBuilder::new();
-    let cu_id = b.add_process(Box::new(ControlUnit::new(organization)));
-    let ic_id = b.add_process(Box::new(InstrMem::new(&workload.program)));
-    let rf_id = b.add_process(Box::new(RegFile::new()));
-    let alu_id = b.add_process(Box::new(Alu::new()));
-    let dc_id = b.add_process(Box::new(DataMem::new(workload.memory.clone())));
-    debug_assert_eq!((cu_id, ic_id, rf_id, alu_id, dc_id), (CU, IC, RF, ALU, DC));
-
-    b.connect("cu_ic", CU, cu::OUT_IC, IC, 0, rs.get(Link::CuIc));
-    b.connect("ic_cu", IC, 0, CU, cu::IN_IC, rs.get(Link::CuIc));
-    b.connect(
-        "cu_rf",
-        CU,
-        cu::OUT_RF,
-        RF,
-        regfile::IN_CU,
-        rs.get(Link::CuRf),
+    let registry = soc_registry(workload, organization);
+    let mut b = wp_spec::lower(soc_spec(), &registry).expect("the committed SoC spec lowers");
+    debug_assert_eq!(
+        ["cu", "ic", "rf", "alu", "dc"].map(|n| {
+            soc_spec()
+                .blocks
+                .iter()
+                .position(|b| b.name == n)
+                .expect("spec declares the block")
+        }),
+        [CU, IC, RF, ALU, DC]
     );
-    b.connect(
-        "cu_alu",
-        CU,
-        cu::OUT_ALU,
-        ALU,
-        alu::IN_CU,
-        rs.get(Link::CuAlu),
-    );
-    b.connect(
-        "cu_dc",
-        CU,
-        cu::OUT_DC,
-        DC,
-        dcache::IN_CU,
-        rs.get(Link::CuDc),
-    );
-    b.connect(
-        "rf_alu",
-        RF,
-        regfile::OUT_ALU,
-        ALU,
-        alu::IN_RF,
-        rs.get(Link::RfAlu),
-    );
-    b.connect(
-        "rf_dc",
-        RF,
-        regfile::OUT_DC,
-        DC,
-        dcache::IN_RF,
-        rs.get(Link::RfDc),
-    );
-    b.connect(
-        "alu_cu",
-        ALU,
-        alu::OUT_CU,
-        CU,
-        cu::IN_ALU,
-        rs.get(Link::AluCu),
-    );
-    b.connect(
-        "alu_rf",
-        ALU,
-        alu::OUT_RF,
-        RF,
-        regfile::IN_ALU,
-        rs.get(Link::AluRf),
-    );
-    b.connect(
-        "alu_dc",
-        ALU,
-        alu::OUT_DC,
-        DC,
-        dcache::IN_ALU,
-        rs.get(Link::AluDc),
-    );
-    b.connect(
-        "dc_rf",
-        DC,
-        dcache::OUT_RF,
-        RF,
-        regfile::IN_DC,
-        rs.get(Link::DcRf),
-    );
+    for link in Link::ALL {
+        for name in link.channel_names() {
+            let id = b
+                .find_channel(name)
+                .expect("spec declares every Table 1 channel");
+            b.set_relay_stations(id, rs.get(link));
+        }
+    }
     b
 }
 

@@ -1,0 +1,217 @@
+//! The case-study block registry: lowering `wp_spec` netlist specs to the
+//! five processor blocks of fig. 1.
+//!
+//! Two layers of spec support live here:
+//!
+//! * [`soc_registry`] — the kind table (`cu`, `icache`, `regfile`, `alu`,
+//!   `dcache`) closed over a concrete workload and organisation, used by
+//!   [`crate::build_soc`] to lower the committed `examples/soc.nl`
+//!   topology;
+//! * [`soc_spec_context`] — recognition of *self-contained* SoC specs
+//!   (`examples/soc_sort.nl`, `examples/soc_matmul.nl`) that carry the
+//!   workload and organisation as attributes of the `cu` block, so a spec
+//!   file alone is enough to build and run the processor.
+
+use wp_spec::{BlockRegistry, NetlistSpec, SpecError};
+
+use crate::blocks::{Alu, ControlUnit, DataMem, InstrMem, Organization, RegFile};
+use crate::msg::Msg;
+use crate::programs::{extraction_sort, matrix_multiply, Workload};
+
+/// The block kinds [`soc_registry`] can lower, i.e. the kinds a spec may
+/// use to describe the case-study processor.
+pub const SOC_KINDS: [&str; 5] = ["cu", "icache", "regfile", "alu", "dcache"];
+
+/// The block registry of the case-study processor, closed over a workload
+/// and an organisation:
+///
+/// * `cu` — [`ControlUnit`] in the given [`Organization`] (workload
+///   attributes on the block are read by [`soc_spec_context`], not here);
+/// * `icache` — [`InstrMem`] holding the workload's program;
+/// * `regfile` — [`RegFile`];
+/// * `alu` — [`Alu`];
+/// * `dcache` — [`DataMem`] initialised with the workload's memory image.
+///
+/// All constructors are pure clones of the captured context, so the
+/// registry can lower the same spec any number of times (scenario
+/// factories, lane batches, golden twins).
+pub fn soc_registry(workload: &Workload, organization: Organization) -> BlockRegistry<Msg> {
+    let mut registry = BlockRegistry::new();
+    let program = workload.program.clone();
+    let memory = workload.memory.clone();
+    registry.register("cu", move |_block| {
+        Ok(Box::new(ControlUnit::new(organization)))
+    });
+    registry.register("icache", move |block| {
+        reject_attrs(block)?;
+        Ok(Box::new(InstrMem::new(&program)))
+    });
+    registry.register("regfile", |block| {
+        reject_attrs(block)?;
+        Ok(Box::new(RegFile::new()))
+    });
+    registry.register("alu", |block| {
+        reject_attrs(block)?;
+        Ok(Box::new(Alu::new()))
+    });
+    registry.register("dcache", move |block| {
+        reject_attrs(block)?;
+        Ok(Box::new(DataMem::new(memory.clone())))
+    });
+    registry
+}
+
+fn reject_attrs(block: &wp_spec::BlockSpec) -> Result<(), String> {
+    match block.attrs.first() {
+        Some((key, _)) => Err(format!("unknown attribute '{key}'")),
+        None => Ok(()),
+    }
+}
+
+/// The execution context a self-contained SoC spec carries: the workload
+/// its attributes describe and the organisation to run it in.
+#[derive(Debug, Clone)]
+pub struct SocSpecContext {
+    /// The workload named by the `cu` block's attributes.
+    pub workload: Workload,
+    /// The processor organisation (`org=multicycle|pipelined`).
+    pub organization: Organization,
+}
+
+impl SocSpecContext {
+    /// The registry lowering this context's spec: [`soc_registry`] over the
+    /// carried workload and organisation.
+    pub fn registry(&self) -> BlockRegistry<Msg> {
+        soc_registry(&self.workload, self.organization)
+    }
+}
+
+/// Recognises a self-contained SoC spec: a netlist containing a block of
+/// kind `cu` whose attributes name a workload.
+///
+/// The `cu` block must then carry exactly the attributes
+/// `workload=sort|matmul`, `size=<N>`, `seed=<S>` and
+/// `org=multicycle|pipelined`.  Returns `Ok(None)` for specs without a
+/// `cu` block or with a bare one (topology-only, like `examples/soc.nl` —
+/// the workload comes from the caller instead).
+///
+/// # Errors
+///
+/// Returns [`SpecError::Build`] when the attributes are present but
+/// incomplete, unknown, malformed, or the workload fails to assemble.
+pub fn soc_spec_context(spec: &NetlistSpec) -> Result<Option<SocSpecContext>, SpecError> {
+    let Some(cu) = spec.blocks.iter().find(|b| b.kind == "cu") else {
+        return Ok(None);
+    };
+    if cu.attrs.is_empty() {
+        return Ok(None);
+    }
+    let build = |message: String| SpecError::Build {
+        message: format!("block '{}' (kind 'cu'): {message}", cu.name),
+    };
+    if let Some((key, _)) = cu
+        .attrs
+        .iter()
+        .find(|(key, _)| !matches!(key.as_str(), "workload" | "size" | "seed" | "org"))
+    {
+        return Err(build(format!("unknown attribute '{key}'")));
+    }
+    let required = |key: &str| {
+        cu.attr(key)
+            .ok_or_else(|| build(format!("missing attribute '{key}'")))
+    };
+    let size_attr = required("size")?;
+    let size: usize = size_attr
+        .parse()
+        .map_err(|_| build(format!("size '{size_attr}' is not a count")))?;
+    let seed_attr = required("seed")?;
+    let seed: u64 = seed_attr
+        .parse()
+        .map_err(|_| build(format!("seed '{seed_attr}' is not a number")))?;
+    let organization = match required("org")? {
+        "multicycle" => Organization::Multicycle,
+        "pipelined" => Organization::Pipelined,
+        other => {
+            return Err(build(format!(
+                "org '{other}' is not 'multicycle' or 'pipelined'"
+            )))
+        }
+    };
+    let workload = match required("workload")? {
+        "sort" => extraction_sort(size, seed),
+        "matmul" => matrix_multiply(size, seed),
+        other => {
+            return Err(build(format!(
+                "workload '{other}' is not 'sort' or 'matmul'"
+            )))
+        }
+    }
+    .map_err(|e| build(format!("workload failed to assemble: {e}")))?;
+    Ok(Some(SocSpecContext {
+        workload,
+        organization,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_spec() -> NetlistSpec {
+        NetlistSpec::parse(include_str!("../../../examples/soc_sort.nl")).expect("parses")
+    }
+
+    #[test]
+    fn topology_only_spec_has_no_context() {
+        let spec = NetlistSpec::parse(include_str!("../../../examples/soc.nl")).expect("parses");
+        assert!(soc_spec_context(&spec).expect("recognised").is_none());
+    }
+
+    #[test]
+    fn self_contained_specs_carry_their_workload() {
+        let ctx = soc_spec_context(&sort_spec())
+            .expect("recognised")
+            .expect("self-contained");
+        assert_eq!(ctx.workload.name, "extraction_sort");
+        assert_eq!(ctx.organization, Organization::Pipelined);
+
+        let spec =
+            NetlistSpec::parse(include_str!("../../../examples/soc_matmul.nl")).expect("parses");
+        let ctx = soc_spec_context(&spec).expect("recognised").expect("ctx");
+        assert_eq!(ctx.workload.name, "matrix_multiply");
+    }
+
+    #[test]
+    fn malformed_contexts_are_rejected_with_the_block_named() {
+        let mut spec = sort_spec();
+        spec.blocks[0].attrs.push(("tau".into(), "3".into()));
+        let err = soc_spec_context(&spec).unwrap_err().to_string();
+        assert!(err.contains("block 'cu'"), "{err}");
+        assert!(err.contains("unknown attribute 'tau'"), "{err}");
+
+        let mut spec = sort_spec();
+        spec.blocks[0].attrs.retain(|(k, _)| k != "seed");
+        let err = soc_spec_context(&spec).unwrap_err().to_string();
+        assert!(err.contains("missing attribute 'seed'"), "{err}");
+
+        let mut spec = sort_spec();
+        for (key, value) in &mut spec.blocks[0].attrs {
+            if key == "workload" {
+                "fft".clone_into(value);
+            }
+        }
+        let err = soc_spec_context(&spec).unwrap_err().to_string();
+        assert!(err.contains("'fft' is not"), "{err}");
+    }
+
+    #[test]
+    fn self_contained_spec_lowers_through_its_own_registry() {
+        let ctx = soc_spec_context(&sort_spec())
+            .expect("recognised")
+            .expect("self-contained");
+        let builder = wp_spec::lower(&sort_spec(), &ctx.registry()).expect("lowers");
+        let net = builder.to_netlist();
+        assert_eq!(net.node_count(), 5);
+        assert_eq!(net.edge_count(), 11);
+    }
+}

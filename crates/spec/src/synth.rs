@@ -1,0 +1,85 @@
+//! The synthetic block registry: latency-insensitive stages whose behaviour
+//! is fully determined by the spec, for netlists that exist to exercise the
+//! protocol machinery (generated topologies, throughput studies) rather
+//! than to compute anything.
+
+use wp_core::{PortSet, Process};
+
+use crate::ast::BlockSpec;
+use crate::lower::BlockRegistry;
+
+/// A strict-firing stage with arbitrary port counts: needs every input,
+/// sums them (wrapping, offset by one so values keep changing in loops of
+/// zeros) and forwards the sum on every output.  The spec's declared port
+/// counts are the process's port counts, so one kind covers every node
+/// degree a generated topology produces.
+///
+/// Strict firing matters: the exact max-cycle-ratio model predicts the
+/// steady-state throughput of WP1 (strict) shells, so `fan` graphs are the
+/// netlists on which prediction and lane measurement must agree.
+#[derive(Debug)]
+pub struct FanBlock {
+    name: String,
+    ins: usize,
+    outs: usize,
+    value: u64,
+}
+
+impl FanBlock {
+    /// Creates a fan stage with the given port counts.
+    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize) -> Self {
+        Self {
+            name: name.into(),
+            ins: inputs,
+            outs: outputs,
+            value: 0,
+        }
+    }
+}
+
+impl Process<u64> for FanBlock {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        self.ins
+    }
+    fn num_outputs(&self) -> usize {
+        self.outs
+    }
+    fn output(&self, _port: usize) -> u64 {
+        self.value
+    }
+    fn required_inputs(&self) -> PortSet {
+        PortSet::all(self.ins)
+    }
+    fn fire(&mut self, inputs: &[Option<u64>]) {
+        self.value = inputs
+            .iter()
+            .flatten()
+            .fold(1u64, |acc, &v| acc.wrapping_add(v));
+    }
+    fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// The registry of synthetic `u64` block kinds:
+///
+/// * `fan` — a [`FanBlock`] with the declared port counts (no attributes).
+///
+/// This is the registry `wp_gen` topologies lower through.
+pub fn synthetic_registry() -> BlockRegistry<u64> {
+    let mut registry = BlockRegistry::new();
+    registry.register("fan", |block: &BlockSpec| {
+        if let Some((key, _)) = block.attrs.first() {
+            return Err(format!("unknown attribute '{key}'"));
+        }
+        Ok(Box::new(FanBlock::new(
+            block.name.clone(),
+            block.inputs.len(),
+            block.outputs.len(),
+        )))
+    });
+    registry
+}
