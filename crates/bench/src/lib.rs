@@ -9,11 +9,15 @@
 
 mod args;
 mod compare;
+mod dse;
 mod json;
 mod wiring;
 
 pub use args::{flag_value, ArgError, LaneMode, OracleMode, ShardArgs, SweepArgs};
 pub use compare::{compare_reports, BenchComparison};
+pub use dse::{
+    dse_unit_from_json, dse_unit_ndjson, format_frontier, spot_verify_frontier, SPOT_TOLERANCE,
+};
 pub use json::{
     bench_report_json, json_f64, json_opt_usize, json_string, table_row_from_json,
     table_row_ndjson, BenchTable,

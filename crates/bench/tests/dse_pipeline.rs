@@ -1,0 +1,88 @@
+//! Regression test of the DSE spot-verification contract: on seeded
+//! generated netlists, every point of the analytic Pareto frontier must
+//! reproduce its cycle throughput in lane simulation within the 2%
+//! acceptance bar — the same check the `dse --verify` flag runs in CI.
+
+use wp_bench::{spot_verify_frontier, LaneMode, OracleMode, SPOT_TOLERANCE};
+use wp_dse::{search, DseConfig, SearchMode, SearchSpace};
+use wp_gen::{generate, GenConfig};
+use wp_sim::SweepRunner;
+use wp_spec::NetlistSpec;
+
+fn small_spec(seed: u64) -> NetlistSpec {
+    let mut cfg = GenConfig::with_seed(seed);
+    cfg.blocks = (3, 5);
+    cfg.chords = (1, 2);
+    let mut spec = generate(&cfg);
+    spec.insert_relays(1.0);
+    spec
+}
+
+#[test]
+fn exhaustive_frontiers_spot_verify_on_seeded_netlists() {
+    let runner = SweepRunner::default();
+    for seed in [1, 4, 9] {
+        let spec = small_spec(seed);
+        let space = SearchSpace::from_spec(&spec, 2, 1.0);
+        let outcome = search(&space, &DseConfig::default(), 4);
+        assert!(
+            outcome.exhaustive,
+            "seed {seed} should enumerate exhaustively"
+        );
+        assert!(
+            !outcome.frontier.is_empty(),
+            "seed {seed} has an empty frontier"
+        );
+        let measured = spot_verify_frontier(
+            &spec,
+            1.0,
+            &outcome.frontier,
+            2_000,
+            &runner,
+            LaneMode::Auto,
+            OracleMode::On,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // The bound the helper enforces, restated here so a loosened
+        // helper cannot silently pass the regression.
+        for (point, th) in outcome.frontier.iter().zip(&measured) {
+            let error = (th - point.cycle_throughput).abs() / point.cycle_throughput;
+            assert!(
+                error < SPOT_TOLERANCE,
+                "seed {seed} cost {}: measured {th:.6} vs analytic {:.6} ({:.2}% off)",
+                point.cost,
+                point.cycle_throughput,
+                100.0 * error,
+            );
+        }
+    }
+}
+
+#[test]
+fn neighborhood_frontiers_spot_verify_too() {
+    // A neighborhood search reports a *searched* frontier, not the true
+    // one — but every reported point must still verify by simulation.
+    let spec = small_spec(2);
+    let space = SearchSpace::from_spec(&spec, 3, 1.0);
+    let cfg = DseConfig {
+        mode: SearchMode::Neighborhood {
+            walks: 4,
+            steps: 150,
+        },
+        seed: 5,
+        ..DseConfig::default()
+    };
+    let outcome = search(&space, &cfg, 4);
+    assert!(!outcome.exhaustive);
+    assert!(!outcome.frontier.is_empty());
+    spot_verify_frontier(
+        &spec,
+        1.0,
+        &outcome.frontier,
+        2_000,
+        &SweepRunner::default(),
+        LaneMode::Auto,
+        OracleMode::On,
+    )
+    .expect("every searched frontier point verifies");
+}

@@ -1,0 +1,87 @@
+//! Property test pinning the incremental-reuse contract of [`McrSolver`]:
+//! a solver workspace built once for a topology, re-solved after arbitrary
+//! relay-station mutations, must return *bit-identical* results to a fresh
+//! solver built from scratch on the mutated netlist.  This is the contract
+//! the design-space search (`wp_dse`) leans on — millions of candidates
+//! are scored through one reused workspace, and any drift between the
+//! incremental and the fresh path would silently corrupt the Pareto
+//! frontier.
+
+use proptest::prelude::*;
+
+use wp_netlist::{McrSolver, Netlist, NodeId};
+
+/// Builds a random strongly connected netlist: a Hamiltonian ring over `n`
+/// nodes guarantees the connectivity, extra chords add loop diversity.
+fn build_strongly_connected(n: usize, chords: &[(usize, usize)], stations: &[usize]) -> Netlist {
+    let mut net = Netlist::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| net.add_node(format!("n{i}"))).collect();
+    for i in 0..n {
+        net.add_edge(format!("ring{i}"), nodes[i], nodes[(i + 1) % n]);
+    }
+    for (idx, &(a, b)) in chords.iter().enumerate() {
+        net.add_edge(format!("chord{idx}"), nodes[a % n], nodes[b % n]);
+    }
+    for (i, e) in net.edge_ids().collect::<Vec<_>>().into_iter().enumerate() {
+        net.set_relay_stations(e, stations.get(i).copied().unwrap_or(0));
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // A long random sequence of single-channel relay mutations, re-solved
+    // incrementally after each step, never drifts from a fresh solve.
+    #[test]
+    fn incremental_resolves_match_fresh_solver_bit_for_bit(
+        n in 2usize..8,
+        chords in prop::collection::vec((0usize..8, 0usize..8), 0..10),
+        stations in prop::collection::vec(0usize..4, 0..18),
+        mutations in prop::collection::vec((0usize..18, 0usize..6), 1..60),
+    ) {
+        let mut net = build_strongly_connected(n, &chords, &stations);
+        let mut solver = McrSolver::new(&net);
+        // The reused workspace must agree with a fresh one on the seed
+        // assignment too, before any mutation.
+        prop_assert_eq!(
+            solver.solve(&net).to_bits(),
+            McrSolver::new(&net).solve(&net).to_bits()
+        );
+        let edges: Vec<_> = net.edge_ids().collect();
+        for &(pick, rs) in &mutations {
+            net.set_relay_stations(edges[pick % edges.len()], rs);
+            let incremental = solver.solve(&net);
+            let fresh = McrSolver::new(&net).solve(&net);
+            prop_assert_eq!(
+                incremental.to_bits(),
+                fresh.to_bits(),
+                "incremental {} vs fresh {} after mutating to {:?}",
+                incremental,
+                fresh,
+                net.relay_station_assignment()
+            );
+        }
+    }
+
+    // Whole-assignment replacement (the `wp_dse` evaluator's mutation
+    // primitive) keeps the same contract.
+    #[test]
+    fn bulk_assignment_replacement_matches_fresh_solver(
+        n in 2usize..7,
+        chords in prop::collection::vec((0usize..7, 0usize..7), 0..8),
+        assignments in prop::collection::vec(
+            prop::collection::vec(0usize..5, 20), 1..20),
+    ) {
+        let mut net = build_strongly_connected(n, &chords, &[]);
+        let mut solver = McrSolver::new(&net);
+        let edge_count = net.edge_count();
+        for assignment in &assignments {
+            net.apply_relay_station_assignment(&assignment[..edge_count]);
+            prop_assert_eq!(
+                solver.solve(&net).to_bits(),
+                McrSolver::new(&net).solve(&net).to_bits()
+            );
+        }
+    }
+}

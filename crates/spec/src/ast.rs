@@ -133,6 +133,63 @@ impl NetlistSpec {
         self.channels.iter().map(|c| c.relay_stations).sum()
     }
 
+    /// The per-channel relay-station assignment, indexed like the channel
+    /// declarations — and therefore exactly like the edges of
+    /// [`NetlistSpec::to_netlist`], whose insertion order matches the
+    /// declaration order.  This is the vector a design-space search mutates
+    /// (see `wp_dse`).
+    pub fn relay_assignment(&self) -> Vec<usize> {
+        self.channels.iter().map(|c| c.relay_stations).collect()
+    }
+
+    /// Applies a relay-station assignment produced by
+    /// [`NetlistSpec::relay_assignment`] (or by a search over that space),
+    /// one count per declared channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the channel count.
+    pub fn apply_relay_assignment(&mut self, assignment: &[usize]) {
+        assert_eq!(
+            assignment.len(),
+            self.channels.len(),
+            "assignment length must equal the channel count"
+        );
+        for (channel, &rs) in self.channels.iter_mut().zip(assignment) {
+            channel.relay_stations = rs;
+        }
+    }
+
+    /// The per-channel wire latencies implied by the declarations at the
+    /// given reference clock period: the declared `latency=` when present,
+    /// otherwise the longest wire delay consistent with the declared relay
+    /// count under the paper's budgeting rule
+    /// (`relay = ⌈latency/period⌉ − 1`, so `latency =
+    /// (relay + 1) · reference_period`).
+    ///
+    /// A design-space search reads these as the *physical* wire delays of
+    /// the netlist: an assignment giving channel `i` `r` stations splits
+    /// its wire into `r + 1` segments, each of which must fit in one clock
+    /// period, so the assignment's fastest feasible clock is
+    /// `max(reference_period, maxᵢ latencyᵢ/(rᵢ+1))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reference_period` is not positive.
+    pub fn wire_latencies(&self, reference_period: f64) -> Vec<f64> {
+        assert!(
+            reference_period > 0.0,
+            "reference clock period must be positive"
+        );
+        self.channels
+            .iter()
+            .map(|c| match c.latency {
+                Some(latency) => latency as f64,
+                None => (c.relay_stations + 1) as f64 * reference_period,
+            })
+            .collect()
+    }
+
     /// Converts every declared channel latency into a relay-station count
     /// (`⌈latency / clock_period⌉ − 1`, the paper's wire-pipelining rule)
     /// and clears the latency, keeping whatever explicit count is larger.

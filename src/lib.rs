@@ -18,6 +18,8 @@
 //! * [`generator`] (`wp_gen`) — seeded random strongly-connected netlist
 //!   specs (named `generator` here because `gen` is a reserved identifier
 //!   in newer Rust editions);
+//! * [`dse`] (`wp_dse`) — design-space exploration: analytic Pareto search
+//!   over relay-station assignments (area cost vs effective throughput);
 //! * [`proc`] (`wp_proc`) — the five-block case-study processor, its ISA,
 //!   assembler and benchmark programs;
 //! * [`floorplan`] (`wp_floorplan`) — placement, wire delay and
@@ -33,6 +35,7 @@
 pub use wp_area as area;
 pub use wp_core as core;
 pub use wp_dist as dist;
+pub use wp_dse as dse;
 pub use wp_floorplan as floorplan;
 pub use wp_gen as generator;
 pub use wp_lex as lex;
